@@ -1,0 +1,120 @@
+// rtbench regenerates the paper's tables and figures. Each experiment
+// prints the rows/series of one paper artifact; see EXPERIMENTS.md for the
+// index.
+//
+// Usage:
+//
+//	rtbench -exp fig5                        # one experiment, paper scale
+//	rtbench -exp all -quick                  # everything, scaled down
+//	rtbench -exp fig6 -dataset head          # other datasets
+//	rtbench -exp fig8 -csv > fig8.csv        # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtcomp/internal/experiments"
+	"rtcomp/internal/simnet"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		dataset = flag.String("dataset", "engine", "phantom dataset: engine, head, brain")
+		p       = flag.Int("p", 0, "processor count (default: experiment default)")
+		volN    = flag.Int("voln", 0, "phantom resolution (default: experiment default)")
+		size    = flag.Int("size", 0, "composite image edge in pixels (default 512)")
+		maxN    = flag.Int("maxn", 0, "initial-block sweep bound")
+		quick   = flag.Bool("quick", false, "scaled-down run for smoke testing")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outdir  = flag.String("outdir", "", "also write each table as a CSV file into this directory")
+		machine = flag.String("machine", "sp2", "simulated machine: sp2 (calibrated) or paper (Section 2.3 constants)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Registry() {
+			fmt.Printf("%-10s %-12s %s\n", s.ID, "("+s.Paper+")", s.Title)
+		}
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	o.Dataset = *dataset
+	if *p > 0 {
+		o.P = *p
+	}
+	if *volN > 0 {
+		o.VolumeN = *volN
+	}
+	if *size > 0 {
+		o.Width, o.Height = *size, *size
+	}
+	if *maxN > 0 {
+		o.MaxN = *maxN
+	}
+	switch *machine {
+	case "sp2":
+		o.Sim = simnet.SP2Calibrated()
+	case "paper":
+		o.Sim = simnet.PaperExample()
+	default:
+		fmt.Fprintf(os.Stderr, "rtbench: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	specs := experiments.Registry()
+	if *exp != "all" {
+		s, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rtbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		specs = []experiments.Spec{s}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, s := range specs {
+		tables, err := s.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		for ti, t := range tables {
+			if *outdir != "" {
+				path := filepath.Join(*outdir, fmt.Sprintf("%s-%d.csv", s.ID, ti))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := t.CSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+			if *csv {
+				if err := t.CSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+				continue
+			}
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// rtnode runs one rank of the distributed rendering pipeline over raw TCP
+// sockets — the multi-process deployment of the library. Start P processes
+// with the same -addrs list and ranks 0..P-1; rank 0 writes the final
+// image.
+//
+//	rtnode -rank 0 -addrs host0:7000,host1:7000 -dataset head -o head.png &
+//	rtnode -rank 1 -addrs host0:7000,host1:7000 -dataset head &
+//
+// For a single-machine demonstration, -local P runs all ranks in one
+// process but still moves every byte through loopback TCP sockets:
+//
+//	rtnode -local 4 -dataset engine -method 2nrt:4 -o engine.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"rtcomp/internal/comm"
+	"rtcomp/internal/core"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/shearwarp"
+	"rtcomp/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		rank    = flag.Int("rank", -1, "this process's rank (multi-process mode)")
+		addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		local   = flag.Int("local", 0, "run P ranks in-process over loopback TCP")
+		dataset = flag.String("dataset", "engine", "phantom dataset")
+		volN    = flag.Int("voln", 128, "phantom resolution")
+		method  = flag.String("method", "nrt:4", "composition method")
+		cdc     = flag.String("codec", "trle", "wire codec")
+		size    = flag.Int("size", 512, "final image edge in pixels")
+		yaw     = flag.Float64("yaw", 0.35, "camera yaw in radians")
+		pitch   = flag.Float64("pitch", 0.2, "camera pitch in radians")
+		out     = flag.String("o", "out.png", "output file on rank 0 (.png or .pgm)")
+		accel   = flag.Bool("accel", false, "enable the opacity-coherence render acceleration")
+		rle     = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
+		part    = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
+		timeout = flag.Duration("timeout", 30*time.Second, "mesh setup timeout")
+	)
+	flag.Parse()
+
+	m, err := core.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	mkConfig := func(p int) core.Config {
+		return core.Config{
+			Dataset:    *dataset,
+			VolumeN:    *volN,
+			Camera:     shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
+			Width:      *size,
+			Height:     *size,
+			P:          p,
+			Method:     m,
+			Codec:      *cdc,
+			Accelerate: *accel,
+			RLE:        *rle,
+			Partition:  *part,
+		}
+	}
+
+	if *local > 0 {
+		if err := runLocal(*local, mkConfig(*local), *out, *timeout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	list := strings.Split(*addrs, ",")
+	if *addrs == "" || *rank < 0 || *rank >= len(list) {
+		fatal(fmt.Errorf("need -rank in [0,%d) and -addrs with one address per rank (or -local P)", len(list)))
+	}
+	ep, err := tcpnet.Start(tcpnet.Config{Rank: *rank, Addrs: list, DialTimeout: *timeout})
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+	img, rep, err := core.RenderRank(ep, mkConfig(len(list)))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rank %d: %d msgs sent, %d bytes sent, %d over-pixels\n",
+		*rank, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels)
+	// Cluster-wide totals, reduced to rank 0 over the same sockets.
+	var seq comm.Sequencer
+	totals, err := comm.ReduceSum(ep, &seq, 0,
+		[]int64{rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels})
+	if err != nil {
+		fatal(err)
+	}
+	if totals != nil {
+		fmt.Printf("cluster totals: %d msgs, %d bytes, %d over-pixels\n",
+			totals[0], totals[1], totals[2])
+	}
+	if img != nil {
+		if err := writeImage(img, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank 0 wrote %s\n", *out)
+	}
+}
+
+func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
+	addrs, err := tcpnet.LoopbackAddrs(p)
+	if err != nil {
+		return err
+	}
+	var final *raster.Image
+	var mu sync.Mutex
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: timeout})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer ep.Close()
+			img, rep, err := core.RenderRank(ep, cfg)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			fmt.Printf("rank %d: %d msgs, %d bytes over TCP\n", r, rep.Comm.MsgsSent, rep.Comm.BytesSent)
+			if img != nil {
+				mu.Lock()
+				final = img
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if final == nil {
+		return fmt.Errorf("no final image produced")
+	}
+	if err := writeImage(final, out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", out, final.W, final.H)
+	return nil
+}
+
+func writeImage(img *raster.Image, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pgm") {
+		_, err = f.Write(img.EncodePGM())
+		return err
+	}
+	return img.WritePNG(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtnode:", err)
+	os.Exit(1)
+}

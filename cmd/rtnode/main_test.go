@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtcomp/internal/transport/tcpnet"
+)
+
+// TestMultiProcess builds the rtnode binary and runs a real P-process
+// distributed render over TCP sockets — the full deployment path, one OS
+// process per rank.
+func TestMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rtnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rtnode: %v\n%s", err, out)
+	}
+
+	const p = 3
+	addrs, err := tcpnet.LoopbackAddrs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrList := strings.Join(addrs, ",")
+	outFile := filepath.Join(dir, "final.pgm")
+
+	var wg sync.WaitGroup
+	outputs := make([]bytes.Buffer, p)
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cmd := exec.Command(bin,
+				"-rank", strconv.Itoa(r),
+				"-addrs", addrList,
+				"-dataset", "engine",
+				"-voln", "48",
+				"-size", "96",
+				"-method", "2nrt:4",
+				"-codec", "trle",
+				"-accel",
+				"-o", outFile,
+			)
+			cmd.Stdout = &outputs[r]
+			cmd.Stderr = &outputs[r]
+			errs[r] = cmd.Run()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d failed: %v\n%s", r, errs[r], outputs[r].String())
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("rank 0 produced no image: %v", err)
+	}
+	if !bytes.HasPrefix(data, []byte("P5\n96 96\n255\n")) {
+		t.Fatalf("output is not the expected 96x96 PGM: %q", data[:20])
+	}
+	if len(data) != len("P5\n96 96\n255\n")+96*96 {
+		t.Fatalf("PGM payload truncated: %d bytes", len(data))
+	}
+	if !strings.Contains(outputs[0].String(), "rank 0 wrote") {
+		t.Fatalf("rank 0 output missing confirmation:\n%s", outputs[0].String())
+	}
+	// Non-root ranks report their traffic.
+	if !strings.Contains(outputs[1].String(), "msgs sent") {
+		t.Fatalf("rank 1 output missing traffic report:\n%s", outputs[1].String())
+	}
+}

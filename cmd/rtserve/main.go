@@ -1,0 +1,146 @@
+// rtserve is a tiny interactive viewer: an HTTP server that renders frames
+// on demand with the full parallel pipeline and streams them back as PNG.
+//
+//	rtserve -listen :8080 -p 8
+//	# then open http://localhost:8080/?dataset=head&yaw=0.6&pitch=0.2
+//
+// Endpoints:
+//
+//	GET /render?dataset=&yaw=&pitch=&size=&method=&codec=  -> image/png
+//	GET /                                                  -> minimal HTML viewer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"rtcomp/internal/core"
+	"rtcomp/internal/shearwarp"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
+		p      = flag.Int("p", 8, "processor (goroutine rank) count per frame")
+		volN   = flag.Int("voln", 96, "phantom resolution")
+	)
+	flag.Parse()
+
+	srv := &server{p: *p, volN: *volN}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/render", srv.render)
+	mux.HandleFunc("/", srv.index)
+	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3)", *listen, *p, *volN)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+type server struct {
+	p, volN int
+}
+
+// queryFloat parses a float query parameter with a default.
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func (s *server) render(w http.ResponseWriter, r *http.Request) {
+	yaw, err := queryFloat(r, "yaw", 0.35)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pitch, err := queryFloat(r, "pitch", 0.2)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, err := queryInt(r, "size", 384)
+	if err != nil || size < 16 || size > 2048 {
+		http.Error(w, "size must be in [16, 2048]", http.StatusBadRequest)
+		return
+	}
+	dataset := r.URL.Query().Get("dataset")
+	if dataset == "" {
+		dataset = "engine"
+	}
+	methodStr := r.URL.Query().Get("method")
+	if methodStr == "" {
+		methodStr = "nrt:auto"
+	}
+	method, err := core.ParseMethod(methodStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	codec := r.URL.Query().Get("codec")
+	if codec == "" {
+		codec = "trle"
+	}
+
+	cfg := core.Config{
+		Dataset:    dataset,
+		VolumeN:    s.volN,
+		Camera:     shearwarp.Camera{Yaw: yaw, Pitch: pitch},
+		Width:      size,
+		Height:     size,
+		P:          s.p,
+		Method:     method,
+		Codec:      codec,
+		Accelerate: true,
+	}
+	rep, err := core.RenderParallel(cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Render-Time", rep.RenderTime.String())
+	w.Header().Set("X-Composite-Time", rep.CompositeAll.String())
+	if err := rep.Image.WritePNG(w); err != nil {
+		log.Printf("rtserve: writing png: %v", err)
+	}
+}
+
+func (s *server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html>
+<title>rtcomp viewer</title>
+<style>body{font-family:sans-serif;margin:2em}img{border:1px solid #888;image-rendering:pixelated}</style>
+<h1>rtcomp — rotate-tiling parallel volume renderer</h1>
+<p>
+  dataset <select id=d><option>engine</option><option>head</option><option>brain</option></select>
+  yaw <input id=y type=range min=-3.1 max=3.1 step=0.05 value=0.35>
+  pitch <input id=x type=range min=-1.2 max=1.2 step=0.05 value=0.2>
+  method <select id=m><option>nrt:auto</option><option>2nrt:4</option><option>bs</option><option>pp</option><option>ds</option><option>radixk</option></select>
+</p>
+<img id=v width=384 height=384 alt="rendering...">
+<script>
+const img=document.getElementById('v');
+function refresh(){
+  const d=document.getElementById('d').value, y=document.getElementById('y').value,
+        x=document.getElementById('x').value, m=document.getElementById('m').value;
+  img.src='/render?dataset='+d+'&yaw='+y+'&pitch='+x+'&method='+encodeURIComponent(m);
+}
+for(const id of ['d','y','x','m']) document.getElementById(id).addEventListener('change',refresh);
+refresh();
+</script>`)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"image/png"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRenderEndpoint(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+
+	req := httptest.NewRequest("GET", "/render?dataset=brain&yaw=0.4&pitch=0.1&size=64&method=2nrt:2", nil)
+	rec := httptest.NewRecorder()
+	srv.render(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("content type %q", ct)
+	}
+	img, err := png.Decode(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 64 {
+		t.Fatalf("decoded width %d", img.Bounds().Dx())
+	}
+	if rec.Header().Get("X-Render-Time") == "" {
+		t.Fatal("missing timing header")
+	}
+}
+
+func TestRenderEndpointRejectsBadInput(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+	for _, q := range []string{
+		"/render?yaw=zzz",
+		"/render?size=4",
+		"/render?size=9999",
+		"/render?method=bogus",
+		"/render?dataset=nope&size=32",
+	} {
+		rec := httptest.NewRecorder()
+		srv.render(rec, httptest.NewRequest("GET", q, nil))
+		if rec.Code == 200 {
+			t.Fatalf("%s accepted", q)
+		}
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+	rec := httptest.NewRecorder()
+	srv.index(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if len(body) == 0 || rec.Header().Get("Content-Type") != "text/html; charset=utf-8" {
+		t.Fatal("bad index response")
+	}
+	rec = httptest.NewRecorder()
+	srv.index(rec, httptest.NewRequest("GET", "/nothing", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown path status %d", rec.Code)
+	}
+}

@@ -1,0 +1,111 @@
+// rtsim runs a single composition under the virtual-time SP2 simulator and
+// reports its timing, traffic, per-rank Gantt chart and (optionally) a
+// Chrome trace-event file for chrome://tracing or Perfetto.
+//
+//	rtsim -dataset engine -p 16 -method 2nrt:4 -codec trle
+//	rtsim -p 8 -method bs -gantt -trace bs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/core"
+	"rtcomp/internal/experiments"
+	"rtcomp/internal/shearwarp"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/stats"
+	"rtcomp/internal/trace"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "engine", "phantom dataset")
+		volN      = flag.Int("voln", 128, "phantom resolution")
+		p         = flag.Int("p", 32, "processor count")
+		method    = flag.String("method", "2nrt:4", "composition method")
+		cdc       = flag.String("codec", "raw", "wire codec")
+		size      = flag.Int("size", 512, "composite image edge in pixels")
+		machine   = flag.String("machine", "sp2", "machine model: sp2 or paper")
+		gantt     = flag.Bool("gantt", false, "print the per-rank occupancy chart")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file")
+		dotFile   = flag.String("dot", "", "write the schedule as a Graphviz digraph")
+	)
+	flag.Parse()
+
+	var params simnet.Params
+	switch *machine {
+	case "sp2":
+		params = simnet.SP2Calibrated()
+	case "paper":
+		params = simnet.PaperExample()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	m, err := core.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	m, err = m.ResolveN(*p, *size**size)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := m.Schedule(*p)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := codec.ByName(*cdc)
+	if err != nil {
+		fatal(err)
+	}
+
+	o := experiments.DefaultOptions()
+	o.Dataset = *dataset
+	o.VolumeN = *volN
+	o.Width, o.Height = *size, *size
+	o.Camera = shearwarp.Camera{Yaw: 0.35, Pitch: 0.2}
+	layers, err := experiments.Partials(o, *p)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := simnet.Simulate(sched, layers, c, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method=%s codec=%s machine=%s p=%d image=%dx%d\n", m, *cdc, params.Name, *p, *size, *size)
+	fmt.Printf("composition time: %s\n", stats.Seconds(res.Time))
+	fmt.Printf("traffic: %d msgs, %s raw -> %s wire, %d over-pixels\n",
+		res.Msgs, stats.IBytes(res.RawBytes), stats.IBytes(res.WireBytes), res.OverPixels)
+	fmt.Printf("avg rank utilisation: %.0f%%\n", 100*trace.Utilisation(res.Events, *p, res.Time))
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Events, *p, 96, res.Time))
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(sched.ToDOT()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s — render with `dot -Tsvg`\n", *dotFile)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTrace(f, res.Events); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events) — open in chrome://tracing\n", *traceFile, len(res.Events))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtsim:", err)
+	os.Exit(1)
+}

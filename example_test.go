@@ -1,0 +1,89 @@
+package rtcomp_test
+
+import (
+	"fmt"
+	"sync"
+
+	"rtcomp"
+	"rtcomp/internal/raster"
+)
+
+// ExampleNRT builds a rotate-tiling schedule and proves it correct with
+// the symbolic validator.
+func ExampleNRT() {
+	sched, err := rtcomp.NRT(6, 3)
+	if err != nil {
+		panic(err)
+	}
+	census, err := rtcomp.ValidateSchedule(sched, 512*512)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d steps, %d messages, %d final blocks\n",
+		sched.Name, sched.NumSteps(), census.TotalMessages(), len(census.Final))
+	// Output:
+	// N_RT(N=3): 3 steps, 30 messages, 12 final blocks
+}
+
+// ExampleComposite composites four partial images across four goroutine
+// ranks with TRLE-compressed transfers.
+func ExampleComposite() {
+	const p = 4
+	layers := make([]*rtcomp.Image, p)
+	for r := range layers {
+		layers[r] = rtcomp.NewImage(64, 64)
+		// Each rank covers one quarter-height band, fully opaque.
+		for y := r * 16; y < (r+1)*16; y++ {
+			for x := 0; x < 64; x++ {
+				layers[r].Set(x, y, uint8(50*r+50), 255)
+			}
+		}
+	}
+	sched, _ := rtcomp.TwoNRT(p, 2)
+	var mu sync.Mutex
+	var final *rtcomp.Image
+	err := rtcomp.RunInProcess(p, func(c rtcomp.Comm) error {
+		img, _, err := rtcomp.Composite(c, sched, layers[c.Rank()],
+			rtcomp.CompositeOptions{Codec: rtcomp.TRLE{}, GatherRoot: 0})
+		if img != nil {
+			mu.Lock()
+			final = img
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		panic(err)
+	}
+	v0, _ := final.At(0, 0)
+	v3, _ := final.At(0, 63)
+	fmt.Printf("final %dx%d, top band %d, bottom band %d\n", final.W, final.H, v0, v3)
+	// Output:
+	// final 64x64, top band 50, bottom band 200
+}
+
+// ExampleOptimalN2NRT evaluates the paper's Equation (5) worked example.
+func ExampleOptimalN2NRT() {
+	bound, n := rtcomp.OptimalN2NRT(32, 512*512, rtcomp.PaperParams())
+	fmt.Printf("bound %.1f -> N = %d\n", bound, n)
+	// Output:
+	// bound 4.2 -> N = 4
+}
+
+// ExampleSimulate runs a composition under the virtual-time SP2 model.
+func ExampleSimulate() {
+	const p = 8
+	layers := make([]*rtcomp.Image, p)
+	for r := range layers {
+		layers[r] = raster.PartialImage(nil, 128, 128, r, p)
+	}
+	sched, _ := rtcomp.RT(p, 4)
+	res, err := rtcomp.Simulate(sched, layers, rtcomp.TRLE{}, rtcomp.SP2Calibrated())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("steps %d, messages %d, wire < raw: %v\n",
+		len(res.StepTime), res.Msgs, res.WireBytes < res.RawBytes)
+	// Output:
+	// steps 3, messages 48, wire < raw: true
+}

@@ -1,0 +1,60 @@
+// Tuning: pick the optimal number of initial blocks for a rotate-tiling
+// composition the way the paper's Section 2.3 does — evaluate the
+// Equation (5)/(6) bounds and the closed-form curve for your machine
+// constants — then confirm the choice against the virtual-time simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rtcomp/internal/model"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+)
+
+func main() {
+	const (
+		p    = 32
+		w, h = 512, 512
+	)
+	apix := w * h
+
+	// The paper's own constants and worked example.
+	m := model.PaperParams()
+	bound5, n5 := model.OptimalN2NRT(p, apix, m)
+	fmt.Printf("paper constants (Ts=%g, Tp=%g, To=%g), P=%d, A=%dx%d:\n", m.Ts, m.Tp, m.To, p, w, h)
+	fmt.Printf("  Equation (5): bound %.2f -> use N=%d for 2N_RT (paper: ~4.3 -> 4)\n", bound5, n5)
+	bound6, n6 := model.OptimalNNRT(p, apix, m)
+	fmt.Printf("  Equation (6): bound %.2f -> use N=%d for N_RT\n", bound6, n6)
+	fmt.Printf("  closed-form sweep best even N: %d\n\n", model.BestNByClosedForm(p, apix, 64, true, m))
+
+	// Confirm against the simulator on a realistic workload.
+	rng := rand.New(rand.NewSource(3))
+	layers := make([]*raster.Image, p)
+	for r := range layers {
+		layers[r] = raster.PartialImage(rng, w, h, r, p)
+	}
+	params := simnet.SP2Calibrated()
+	fmt.Printf("simulated composition time on %s (%d ranks, %dx%d):\n", params.Name, p, w, h)
+	bestN, bestT := 0, 0.0
+	for _, n := range []int{1, 2, 4, 6, 8, 12, 16, 24, 32} {
+		sched, err := schedule.RT(p, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := simnet.Simulate(sched, layers, nil, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if bestN == 0 || res.Time < bestT {
+			bestN, bestT = n, res.Time
+		}
+		fmt.Printf("  N=%-3d %8.3fms%s\n", n, res.Time*1e3, marker)
+	}
+	fmt.Printf("simulated optimum: N=%d (%.3fms) — small N loses pipelining, large N drowns in startups\n",
+		bestN, bestT*1e3)
+}

@@ -1,0 +1,3 @@
+module rtcomp
+
+go 1.22

@@ -1,0 +1,104 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rtcomp/internal/raster"
+)
+
+func TestBSpanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	images := []*raster.Image{
+		raster.New(16, 16),
+		raster.RandomImage(rng, 16, 16, 0.0),
+		raster.RandomImage(rng, 16, 16, 0.6),
+		raster.PartialImage(rng, 64, 64, 1, 8),
+		raster.RandomImage(rng, 1, 1, 0.5),
+	}
+	var c BSpan
+	for _, im := range images {
+		enc := c.Encode(im.Pix)
+		dec, err := c.Decode(enc, im.NPixels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, im.Pix) {
+			t.Fatal("bspan round trip mismatch")
+		}
+	}
+}
+
+func TestBSpanRequiresCanonicalBlanks(t *testing.T) {
+	// BSpan drops trimmed pixels entirely, so like TRLE it reproduces
+	// blanks as canonical (0,0).
+	pix := []uint8{42, 0, 5, 9, 42, 0}
+	var c BSpan
+	dec, err := c.Decode(c.Encode(pix), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 0, 5, 9, 0, 0}
+	if !bytes.Equal(dec, want) {
+		t.Fatalf("got %v, want %v", dec, want)
+	}
+}
+
+func TestBSpanTrimming(t *testing.T) {
+	// 100 pixels, only pixel 40..42 non-blank: payload must be tiny.
+	pix := make([]uint8, 200)
+	for i := 40; i < 43; i++ {
+		pix[2*i], pix[2*i+1] = 9, 9
+	}
+	enc := BSpan{}.Encode(pix)
+	if len(enc) > 3*2+4 {
+		t.Fatalf("bspan encoded %d bytes for 3 active pixels", len(enc))
+	}
+	// Fully blank block: header only.
+	blank := make([]uint8, 200)
+	if enc := (BSpan{}).Encode(blank); len(enc) > 4 {
+		t.Fatalf("blank block encoded to %d bytes", len(enc))
+	}
+}
+
+func TestBSpanCannotExploitInteriorBlanks(t *testing.T) {
+	// Non-blank at both ends, blank in the middle: bspan keeps everything,
+	// TRLE collapses the interior.
+	pix := make([]uint8, 2000)
+	pix[0], pix[1] = 1, 1
+	pix[1998], pix[1999] = 1, 1
+	if b := len(BSpan{}.Encode(pix)); b < 2000 {
+		t.Fatalf("bspan compressed interior blanks: %d bytes", b)
+	}
+	if tr := len(TRLE{}.Encode(pix)); tr > 100 {
+		t.Fatalf("TRLE failed on interior blanks: %d bytes", tr)
+	}
+}
+
+func TestBSpanDecodeErrors(t *testing.T) {
+	var c BSpan
+	if _, err := c.Decode(nil, 4); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	enc := c.Encode([]uint8{1, 1, 2, 2})
+	if _, err := c.Decode(enc, 1); err == nil {
+		t.Fatal("interval beyond block accepted")
+	}
+	if _, err := c.Decode(enc[:len(enc)-1], 2); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestByNameBSpan(t *testing.T) {
+	c, err := ByName("bspan")
+	if err != nil || c.Name() != "bspan" {
+		t.Fatalf("ByName(bspan) = %v, %v", c, err)
+	}
+	// Not in the paper-figure list.
+	for _, n := range Names() {
+		if n == "bspan" {
+			t.Fatal("bspan leaked into Names()")
+		}
+	}
+}

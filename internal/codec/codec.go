@@ -1,0 +1,90 @@
+// Package codec implements the compression schemes the paper evaluates for
+// shrinking composition traffic: classic run-length encoding (RLE) and the
+// paper's template run-length encoding (TRLE), in two forms each:
+//
+//   - mask codecs, operating on binary blank/non-blank bitmaps exactly as in
+//     the paper's Figures 3 and 4 (2x2-pixel templates, one byte per code);
+//   - image codecs, operating on the interleaved value+alpha pixel blocks
+//     the compositors actually transmit. Blocks are contiguous row-major
+//     pixel spans, so the image-mode TRLE template covers four consecutive
+//     pixels (a 4x1 window) instead of a 2x2 window; the coding mechanics —
+//     4-bit template plus 4-bit replication count — are unchanged.
+//
+// Blank pixels (alpha == 0) carry no compositing contribution, which is what
+// both codecs exploit.
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"rtcomp/internal/raster"
+)
+
+// Codec compresses and decompresses interleaved value+alpha pixel blocks.
+// Implementations must be deterministic and side-effect free.
+type Codec interface {
+	// Name identifies the codec in reports ("raw", "rle", "trle").
+	Name() string
+	// Encode compresses a pixel block (raster.BytesPerPixel bytes per pixel).
+	Encode(pix []uint8) []uint8
+	// Decode expands an encoded block back to exactly npix pixels.
+	Decode(enc []uint8, npix int) ([]uint8, error)
+}
+
+// ErrCorrupt is returned by Decode when the encoded stream is inconsistent
+// with the expected pixel count.
+var ErrCorrupt = errors.New("codec: corrupt stream")
+
+// Raw is the identity codec: blocks travel uncompressed.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (Raw) Encode(pix []uint8) []uint8 {
+	out := make([]uint8, len(pix))
+	copy(out, pix)
+	return out
+}
+
+// Decode implements Codec.
+func (Raw) Decode(enc []uint8, npix int) ([]uint8, error) {
+	if len(enc) != npix*raster.BytesPerPixel {
+		return nil, fmt.Errorf("%w: raw block has %d bytes, want %d", ErrCorrupt, len(enc), npix*raster.BytesPerPixel)
+	}
+	out := make([]uint8, len(enc))
+	copy(out, enc)
+	return out, nil
+}
+
+// ByName returns the codec registered under the given name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "raw", "":
+		return Raw{}, nil
+	case "rle":
+		return RLE{}, nil
+	case "trle":
+		return TRLE{}, nil
+	case "bspan":
+		return BSpan{}, nil
+	}
+	return nil, fmt.Errorf("codec: unknown codec %q", name)
+}
+
+// Names lists the codecs the paper's figures evaluate, in evaluation
+// order. The bounding-interval codec ("bspan") is registered with ByName
+// but kept out of this list so the figure reproductions keep the paper's
+// columns.
+func Names() []string { return []string{"raw", "rle", "trle"} }
+
+// Ratio reports original/encoded size; larger is better. A zero encoded
+// size (possible only for empty input) reports 1.
+func Ratio(origBytes, encBytes int) float64 {
+	if encBytes == 0 {
+		return 1
+	}
+	return float64(origBytes) / float64(encBytes)
+}

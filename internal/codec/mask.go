@@ -1,0 +1,118 @@
+package codec
+
+// The 2x2-template mask form of TRLE, exactly as in the paper's Figure 3:
+// a template is a 2x2 pixel window whose blank/non-blank pattern is a 4-bit
+// id — bit 3 is the top-left pixel, bit 2 top-right, bit 1 bottom-left,
+// bit 0 bottom-right. A TRLE code byte carries the template id in its low
+// nibble and (replications - 1) in its high nibble, so a single byte covers
+// up to 16 repeated templates. Windows are scanned left to right across each
+// pair of scanlines, top pair first.
+
+// Mask is a binary image: true marks a non-blank pixel.
+type Mask struct {
+	W, H int
+	Bits []bool
+}
+
+// NewMask allocates an all-blank mask.
+func NewMask(w, h int) *Mask { return &Mask{W: w, H: h, Bits: make([]bool, w*h)} }
+
+// At reports the bit at (x, y); out-of-range coordinates read as blank,
+// which implements the blank padding of odd-sized images.
+func (m *Mask) At(x, y int) bool {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H {
+		return false
+	}
+	return m.Bits[y*m.W+x]
+}
+
+// Set stores the bit at (x, y).
+func (m *Mask) Set(x, y int, b bool) { m.Bits[y*m.W+x] = b }
+
+// Template returns the Figure 3 template id of the 2x2 window whose top-left
+// corner is (x, y).
+func (m *Mask) Template(x, y int) uint8 {
+	var t uint8
+	if m.At(x, y) {
+		t |= 8
+	}
+	if m.At(x+1, y) {
+		t |= 4
+	}
+	if m.At(x, y+1) {
+		t |= 2
+	}
+	if m.At(x+1, y+1) {
+		t |= 1
+	}
+	return t
+}
+
+// EncodeMaskTRLE produces the TRLE code stream for a mask. Odd widths and
+// heights are padded with blank pixels.
+func EncodeMaskTRLE(m *Mask) []uint8 {
+	var templates []uint8
+	for y := 0; y < m.H; y += 2 {
+		for x := 0; x < m.W; x += 2 {
+			templates = append(templates, m.Template(x, y))
+		}
+	}
+	var codes []uint8
+	for i := 0; i < len(templates); {
+		tpl := templates[i]
+		run := 1
+		for i+run < len(templates) && run < 16 && templates[i+run] == tpl {
+			run++
+		}
+		codes = append(codes, uint8(run-1)<<4|tpl)
+		i += run
+	}
+	return codes
+}
+
+// DecodeMaskTRLE inverts EncodeMaskTRLE for a mask of the given size.
+func DecodeMaskTRLE(codes []uint8, w, h int) (*Mask, error) {
+	m := NewMask(w, h)
+	tilesPerRow := (w + 1) / 2
+	tileRows := (h + 1) / 2
+	total := tilesPerRow * tileRows
+	idx := 0
+	put := func(x, y int, b bool) {
+		if b && x < w && y < h {
+			m.Set(x, y, true)
+		}
+	}
+	for _, c := range codes {
+		tpl := c & 0x0F
+		reps := int(c>>4) + 1
+		for r := 0; r < reps; r++ {
+			if idx >= total {
+				return nil, ErrCorrupt
+			}
+			x := (idx % tilesPerRow) * 2
+			y := (idx / tilesPerRow) * 2
+			put(x, y, tpl&8 != 0)
+			put(x+1, y, tpl&4 != 0)
+			put(x, y+1, tpl&2 != 0)
+			put(x+1, y+1, tpl&1 != 0)
+			idx++
+		}
+	}
+	if idx != total {
+		return nil, ErrCorrupt
+	}
+	return m, nil
+}
+
+// TemplateTable returns the 16 Figure 3 templates as 2x2 boolean grids,
+// indexed by template id; [0] is the top row.
+func TemplateTable() [16][2][2]bool {
+	var tab [16][2][2]bool
+	for id := 0; id < 16; id++ {
+		tab[id][0][0] = id&8 != 0
+		tab[id][0][1] = id&4 != 0
+		tab[id][1][0] = id&2 != 0
+		tab[id][1][1] = id&1 != 0
+	}
+	return tab
+}

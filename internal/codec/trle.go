@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rtcomp/internal/raster"
+)
+
+// TRLE is the paper's template run-length encoding applied to value+alpha
+// pixel blocks. The block's blank structure is described by a stream of
+// one-byte TRLE codes — low nibble: a 4-bit template marking which of four
+// consecutive pixels are non-blank; high nibble: how many additional times
+// the template repeats (so one code covers up to 16 template groups) — and
+// the surviving non-blank pixels follow as a raw payload in scan order.
+//
+// The paper defines templates over 2x2 pixel windows of a rectangular
+// sub-image. Composition blocks in this implementation are contiguous
+// row-major spans, so the template here covers four consecutive pixels
+// instead; MaskTRLE (mask.go) implements the exact 2x2 form and reproduces
+// Figure 4 byte for byte.
+type TRLE struct{}
+
+// Name implements Codec.
+func (TRLE) Name() string { return "trle" }
+
+// templatePixels is the number of pixels described by one template.
+const templatePixels = 4
+
+// Encode implements Codec. Layout:
+//
+//	uvarint(code count) | codes... | payload (value,alpha of non-blank pixels)
+func (TRLE) Encode(pix []uint8) []uint8 {
+	if len(pix)%raster.BytesPerPixel != 0 {
+		panic("codec: TRLE.Encode on odd-length pixel block")
+	}
+	n := len(pix) / raster.BytesPerPixel
+	groups := (n + templatePixels - 1) / templatePixels
+
+	// Pass 1: template per group (bit 3 = first pixel ... bit 0 = fourth).
+	templates := make([]uint8, groups)
+	for g := 0; g < groups; g++ {
+		var tpl uint8
+		for j := 0; j < templatePixels; j++ {
+			i := g*templatePixels + j
+			if i < n && pix[2*i+1] != 0 {
+				tpl |= 1 << (templatePixels - 1 - j)
+			}
+		}
+		templates[g] = tpl
+	}
+
+	// Pass 2: run-length the templates (<=16 per code) and gather payload.
+	codes := make([]uint8, 0, groups)
+	for g := 0; g < groups; {
+		tpl := templates[g]
+		run := 1
+		for g+run < groups && run < 16 && templates[g+run] == tpl {
+			run++
+		}
+		codes = append(codes, uint8(run-1)<<4|tpl)
+		g += run
+	}
+
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(codes)))
+	out := make([]uint8, 0, hn+len(codes)+len(pix)/4)
+	out = append(out, hdr[:hn]...)
+	out = append(out, codes...)
+	for i := 0; i < n; i++ {
+		if pix[2*i+1] != 0 {
+			out = append(out, pix[2*i], pix[2*i+1])
+		}
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (TRLE) Decode(enc []uint8, npix int) ([]uint8, error) {
+	ncodes, hn := binary.Uvarint(enc)
+	if hn <= 0 {
+		return nil, fmt.Errorf("%w: TRLE header", ErrCorrupt)
+	}
+	if uint64(len(enc)-hn) < ncodes {
+		return nil, fmt.Errorf("%w: TRLE stream truncated", ErrCorrupt)
+	}
+	codes := enc[hn : hn+int(ncodes)]
+	payload := enc[hn+int(ncodes):]
+
+	out := make([]uint8, npix*raster.BytesPerPixel)
+	i := 0 // pixel cursor
+	p := 0 // payload cursor
+	for _, c := range codes {
+		tpl := c & 0x0F
+		reps := int(c>>4) + 1
+		for rep := 0; rep < reps; rep++ {
+			for j := 0; j < templatePixels; j++ {
+				set := tpl&(1<<(templatePixels-1-j)) != 0
+				if i >= npix {
+					if set {
+						return nil, fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+					}
+					continue
+				}
+				if set {
+					if p+2 > len(payload) {
+						return nil, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+					}
+					out[2*i], out[2*i+1] = payload[p], payload[p+1]
+					if out[2*i+1] == 0 {
+						return nil, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+					}
+					p += 2
+				}
+				i++
+			}
+		}
+	}
+	if i < npix {
+		return nil, fmt.Errorf("%w: TRLE codes cover %d pixels, want %d", ErrCorrupt, i, npix)
+	}
+	if p != len(payload) {
+		return nil, fmt.Errorf("%w: TRLE payload has %d leftover bytes", ErrCorrupt, len(payload)-p)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+// Package comm defines the message-passing abstraction the composition
+// methods run on: ranked point-to-point sends and receives with tag
+// matching, plus the handful of collectives the paper's algorithms need
+// (barrier, gather, broadcast). Two fabrics implement it — an in-process
+// goroutine fabric and a hand-rolled TCP socket fabric — so the same
+// compositor code runs shared-memory-parallel or truly distributed.
+package comm
+
+import "fmt"
+
+// Comm is one rank's endpoint into a P-way communicator.
+//
+// A Comm is driven by a single goroutine (its rank's program); Send may be
+// called while another rank is blocked in Recv, but one rank must not Recv
+// concurrently with itself. Tags distinguish in-flight messages between the
+// same pair of ranks: a (from, tag) pair must be unique among undelivered
+// messages. Negative tags are reserved for the collectives.
+type Comm interface {
+	// Rank is this endpoint's index in [0, Size).
+	Rank() int
+	// Size is the number of ranks.
+	Size() int
+	// Send delivers payload to rank `to` with the given tag. It does not
+	// block waiting for the receiver.
+	Send(to, tag int, payload []byte) error
+	// Recv blocks until the message with the given source and tag arrives
+	// and returns its payload.
+	Recv(from, tag int) ([]byte, error)
+	// RecvAny blocks until any of the (source, tag) pairs arrives and
+	// returns the matched source, tag and payload — receipt in arrival
+	// order, avoiding head-of-line blocking across several outstanding
+	// messages.
+	RecvAny(keys []MsgKey) (from, tag int, payload []byte, err error)
+	// Counters reports the traffic this endpoint has generated so far.
+	Counters() Counters
+	// Close releases the endpoint. Other ranks' pending operations may fail
+	// after a Close.
+	Close() error
+}
+
+// MsgKey identifies one expected message for RecvAny.
+type MsgKey struct {
+	From, Tag int
+}
+
+// Counters is a snapshot of one endpoint's traffic.
+type Counters struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// Add returns the element-wise sum of two counters.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		MsgsSent:  c.MsgsSent + o.MsgsSent,
+		BytesSent: c.BytesSent + o.BytesSent,
+		MsgsRecv:  c.MsgsRecv + o.MsgsRecv,
+		BytesRecv: c.BytesRecv + o.BytesRecv,
+	}
+}
+
+// Reserved tag bases for collectives. Each collective call site burns one
+// sequence number per invocation, so tags never collide across consecutive
+// collectives. User tags must be >= 0.
+const (
+	tagBarrier = -1 - iota*1_000_000
+	tagGather
+	tagBcast
+	tagReduce
+)
+
+// Sequencer hands out collective sequence numbers. Every rank must invoke
+// the collectives in the same order, which makes the per-rank counter
+// globally consistent without communication.
+type Sequencer struct {
+	barrier int
+	gather  int
+	bcast   int
+	reduce  int
+}
+
+// ReduceSum folds each rank's int64 values element-wise at root with a
+// binomial tree; root receives the sums, other ranks receive nil. Every
+// rank must pass the same number of values.
+func ReduceSum(c Comm, seq *Sequencer, root int, values []int64) ([]int64, error) {
+	seq.reduce++
+	base := tagReduce - seq.reduce*64
+	p := c.Size()
+	acc := make([]int64, len(values))
+	copy(acc, values)
+	// Reduce onto virtual rank 0 = root by rotating ranks.
+	me := ((c.Rank()-root)%p + p) % p
+	for dist := 1; dist < p; dist *= 2 {
+		if me%(2*dist) == dist {
+			to := ((me - dist + root) % p)
+			return nil, c.Send(to, base-dist, encodeInt64s(acc))
+		}
+		if me%(2*dist) == 0 && me+dist < p {
+			from := (me + dist + root) % p
+			payload, err := c.Recv(from, base-dist)
+			if err != nil {
+				return nil, fmt.Errorf("reduce recv: %w", err)
+			}
+			vals, err := decodeInt64s(payload, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			for i := range acc {
+				acc[i] += vals[i]
+			}
+		}
+	}
+	return acc, nil
+}
+
+func encodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		u := uint64(v)
+		for b := 0; b < 8; b++ {
+			out[8*i+b] = byte(u >> (56 - 8*b))
+		}
+	}
+	return out
+}
+
+func decodeInt64s(payload []byte, n int) ([]int64, error) {
+	if len(payload) != 8*n {
+		return nil, fmt.Errorf("comm: reduce payload has %d bytes, want %d", len(payload), 8*n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		var u uint64
+		for b := 0; b < 8; b++ {
+			u = u<<8 | uint64(payload[8*i+b])
+		}
+		out[i] = int64(u)
+	}
+	return out, nil
+}
+
+// Barrier blocks until all ranks have entered it, using a dissemination
+// pattern: round j exchanges a token at distance 2^j, needing only
+// ceil(log2 P) rounds for any P.
+func Barrier(c Comm, seq *Sequencer) error {
+	p := c.Size()
+	seq.barrier++
+	if p == 1 {
+		return nil
+	}
+	base := tagBarrier - seq.barrier*64
+	for j, dist := 0, 1; dist < p; j, dist = j+1, dist*2 {
+		to := (c.Rank() + dist) % p
+		from := (c.Rank() - dist%p + p) % p
+		if err := c.Send(to, base-j, nil); err != nil {
+			return fmt.Errorf("barrier send: %w", err)
+		}
+		if _, err := c.Recv(from, base-j); err != nil {
+			return fmt.Errorf("barrier recv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Gather collects each rank's payload at root. On root it returns a slice
+// indexed by rank (root's own slot holds its local payload); on other ranks
+// it returns nil.
+func Gather(c Comm, seq *Sequencer, root int, payload []byte) ([][]byte, error) {
+	seq.gather++
+	tag := tagGather - seq.gather*64
+	if c.Rank() != root {
+		return nil, c.Send(root, tag, payload)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = payload
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		data, err := c.Recv(r, tag)
+		if err != nil {
+			return nil, fmt.Errorf("gather from %d: %w", r, err)
+		}
+		out[r] = data
+	}
+	return out, nil
+}
+
+// Bcast sends root's payload to every rank and returns the payload on all
+// ranks (including root).
+func Bcast(c Comm, seq *Sequencer, root int, payload []byte) ([]byte, error) {
+	seq.bcast++
+	tag := tagBcast - seq.bcast*64
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, payload); err != nil {
+				return nil, fmt.Errorf("bcast to %d: %w", r, err)
+			}
+		}
+		return payload, nil
+	}
+	return c.Recv(root, tag)
+}

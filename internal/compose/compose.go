@@ -1,0 +1,143 @@
+// Package compose implements the Porter-Duff "over" operator used to merge
+// partial images in depth order, in both a fast uint8 path (the production
+// kernel) and a float32 reference path used as ground truth in tests.
+//
+// Convention: ranks are numbered front to back, so the final image is
+// layer(0) over layer(1) over ... over layer(P-1). All kernels operate on
+// interleaved value+alpha byte slices as produced by raster.Image.
+package compose
+
+import (
+	"fmt"
+
+	"rtcomp/internal/raster"
+)
+
+// Stats accumulates the amount of compositing work performed, mirroring the
+// paper's To (per-pixel "over" time) accounting.
+type Stats struct {
+	Pixels int // pixels passed through an over kernel
+	Calls  int // kernel invocations
+}
+
+// Add merges other into s.
+func (s *Stats) Add(other Stats) {
+	s.Pixels += other.Pixels
+	s.Calls += other.Calls
+}
+
+// OverU8 composites front over back, writing the result into dst. All three
+// slices must have the same even length (value+alpha interleaved); dst may
+// alias front or back. It returns the number of pixels processed.
+//
+// Alpha is straight (non-premultiplied): out.a = fa + ba*(255-fa)/255 and
+// out.v is the alpha-weighted blend. Fully opaque and fully blank front
+// pixels short-circuit, which also makes the operator exactly associative
+// whenever every alpha is 0 or 255.
+func OverU8(dst, front, back []uint8) int {
+	if len(front) != len(back) || len(dst) != len(front) || len(front)%raster.BytesPerPixel != 0 {
+		panic(fmt.Sprintf("compose: OverU8 length mismatch dst=%d front=%d back=%d",
+			len(dst), len(front), len(back)))
+	}
+	for i := 0; i < len(front); i += raster.BytesPerPixel {
+		fv, fa := front[i], front[i+1]
+		switch fa {
+		case 255:
+			dst[i], dst[i+1] = fv, fa
+		case 0:
+			dst[i], dst[i+1] = back[i], back[i+1]
+		default:
+			bv, ba := back[i], back[i+1]
+			// Work in 16-bit fixed point; +127 rounds to nearest.
+			inv := uint32(255 - fa)
+			ca := uint32(fa)*255 + inv*uint32(ba)
+			cv := uint32(fv)*uint32(fa)*255 + inv*uint32(ba)*uint32(bv)
+			a := (ca + 127) / 255
+			var v uint32
+			if ca > 0 {
+				v = (cv + ca/2) / ca
+			}
+			dst[i], dst[i+1] = uint8(v), uint8(a)
+		}
+	}
+	return len(front) / raster.BytesPerPixel
+}
+
+// OverImage composites front over back in place on back's pixels, i.e.
+// back <- front over back, covering the whole image.
+func OverImage(back, front *raster.Image) int {
+	return OverU8(back.Pix, front.Pix, back.Pix)
+}
+
+// OverSpan composites the given span of front over the same span of back,
+// storing into back.
+func OverSpan(back, front *raster.Image, s raster.Span) int {
+	return OverU8(back.SpanBytes(s), front.SpanBytes(s), back.SpanBytes(s))
+}
+
+// SerialComposite folds layers front-to-back with OverU8 and returns the
+// final image: layers[0] over layers[1] over ... It is the reference result
+// every parallel composition method must reproduce.
+func SerialComposite(layers []*raster.Image) *raster.Image {
+	if len(layers) == 0 {
+		panic("compose: SerialComposite with no layers")
+	}
+	out := layers[len(layers)-1].Clone()
+	for i := len(layers) - 2; i >= 0; i-- {
+		OverImage(out, layers[i])
+	}
+	return out
+}
+
+// FOverPixel is the float64 reference for a single pixel over operation on
+// straight-alpha values in [0,255]. Used to bound quantisation error.
+func FOverPixel(fv, fa, bv, ba float64) (v, a float64) {
+	fA, bA := fa/255, ba/255
+	outA := fA + bA*(1-fA)
+	if outA == 0 {
+		return 0, 0
+	}
+	outV := (fv*fA + bv*bA*(1-fA)) / outA
+	return outV, outA * 255
+}
+
+// SerialCompositeF folds layers front-to-back entirely in float64 and
+// quantises once at the end. It is the high-precision reference against
+// which u8 association-order differences are measured.
+func SerialCompositeF(layers []*raster.Image) *raster.Image {
+	if len(layers) == 0 {
+		panic("compose: SerialCompositeF with no layers")
+	}
+	w, h := layers[0].W, layers[0].H
+	n := w * h
+	accV := make([]float64, n)
+	accA := make([]float64, n)
+	back := layers[len(layers)-1]
+	for i := 0; i < n; i++ {
+		accV[i] = float64(back.Pix[2*i])
+		accA[i] = float64(back.Pix[2*i+1])
+	}
+	for l := len(layers) - 2; l >= 0; l-- {
+		pix := layers[l].Pix
+		for i := 0; i < n; i++ {
+			accV[i], accA[i] = FOverPixel(float64(pix[2*i]), float64(pix[2*i+1]), accV[i], accA[i])
+		}
+	}
+	out := raster.New(w, h)
+	for i := 0; i < n; i++ {
+		out.Pix[2*i] = clamp8(accV[i])
+		out.Pix[2*i+1] = clamp8(accA[i])
+	}
+	return out
+}
+
+func clamp8(x float64) uint8 {
+	v := int(x + 0.5)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

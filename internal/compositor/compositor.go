@@ -1,0 +1,292 @@
+// Package compositor executes a composition schedule on real image data
+// over any comm.Comm fabric: it stages the local partial image into blocks,
+// ships and receives blocks step by step, composites received fragments in
+// depth order with the "over" operator, and finally gathers the fully
+// composited blocks to a root rank.
+//
+// The same executor runs every method — binary-swap, parallel-pipelined,
+// direct-send and both rotate-tiling variants — because the methods differ
+// only in their schedules.
+package compositor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/fragstore"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+)
+
+// Options configures a composition run.
+type Options struct {
+	// Codec compresses block payloads on the wire; nil means raw.
+	Codec codec.Codec
+	// GatherRoot is the rank that assembles the final image. Set to a
+	// negative value to skip the gather (each rank keeps its final blocks).
+	GatherRoot int
+	// Broadcast, with a non-negative GatherRoot, redistributes the
+	// assembled image from the root so every rank returns it — the
+	// display-wall configuration.
+	Broadcast bool
+}
+
+// Report summarises one rank's work during a composition.
+type Report struct {
+	Rank        int
+	Comm        comm.Counters // traffic including the final gather
+	OverPixels  int64         // pixels passed through the over kernel
+	RawBytes    int64         // block payload bytes before compression
+	WireBytes   int64         // block payload bytes after compression
+	FinalBlocks int           // final blocks this rank owned before gather
+}
+
+// Run executes the schedule for this rank's partial image. On the gather
+// root it returns the assembled final image; on other ranks (or when the
+// gather is disabled) the image result is nil.
+func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Options) (*raster.Image, *Report, error) {
+	if c.Size() != sched.P {
+		return nil, nil, fmt.Errorf("compositor: communicator has %d ranks, schedule wants %d", c.Size(), sched.P)
+	}
+	if opts.GatherRoot >= sched.P {
+		return nil, nil, fmt.Errorf("compositor: gather root %d out of range", opts.GatherRoot)
+	}
+	cdc := opts.Codec
+	if cdc == nil {
+		cdc = codec.Raw{}
+	}
+	me := c.Rank()
+	st := fragstore.New(me, sched, local)
+	rep := &Report{Rank: me}
+
+	for si, step := range sched.Steps {
+		for h := 0; h < step.PreHalvings; h++ {
+			st.HalveAll()
+		}
+		// Issue every send eagerly, then drain the receives in arrival
+		// order (RecvAny): the fabric buffers, so a stepwise schedule
+		// cannot deadlock, and arrival-order processing avoids
+		// head-of-line blocking when several messages are outstanding.
+		pending := map[comm.MsgKey]schedule.Transfer{}
+		for _, tr := range step.Transfers {
+			switch {
+			case tr.From == me:
+				if err := send(c, st, cdc, rep, si, tr); err != nil {
+					return nil, nil, err
+				}
+			case tr.To == me:
+				pending[comm.MsgKey{From: tr.From, Tag: tagFor(si, tr.Block)}] = tr
+			}
+		}
+		keys := make([]comm.MsgKey, 0, len(pending))
+		for k := range pending {
+			keys = append(keys, k)
+		}
+		for len(pending) > 0 {
+			from, tag, payload, err := c.RecvAny(keys)
+			if err != nil {
+				return nil, nil, err
+			}
+			key := comm.MsgKey{From: from, Tag: tag}
+			tr, ok := pending[key]
+			if !ok {
+				return nil, nil, fmt.Errorf("compositor: unexpected message from rank %d tag %d", from, tag)
+			}
+			delete(pending, key)
+			for i, k := range keys {
+				if k == key {
+					keys = append(keys[:i], keys[i+1:]...)
+					break
+				}
+			}
+			if err := merge(st, cdc, rep, tr, payload); err != nil {
+				return nil, nil, err
+			}
+		}
+		for h := 0; h < step.PostHalvings; h++ {
+			st.HalveAll()
+		}
+	}
+
+	if err := st.CheckComplete(sched.P); err != nil {
+		return nil, nil, err
+	}
+	rep.FinalBlocks = st.Len()
+
+	var final *raster.Image
+	if opts.GatherRoot >= 0 {
+		img, err := gather(c, st, opts.GatherRoot, local.W, local.H)
+		if err != nil {
+			return nil, nil, err
+		}
+		final = img
+		if opts.Broadcast {
+			var seq comm.Sequencer
+			var payload []byte
+			if c.Rank() == opts.GatherRoot {
+				payload = img.Pix
+			}
+			data, err := comm.Bcast(c, &seq, opts.GatherRoot, payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if c.Rank() != opts.GatherRoot {
+				final = raster.New(local.W, local.H)
+				if len(data) != len(final.Pix) {
+					return nil, nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d",
+						len(data), len(final.Pix))
+				}
+				copy(final.Pix, data)
+			}
+		}
+	}
+	rep.Comm = c.Counters()
+	return final, rep, nil
+}
+
+// tagFor packs (step, block) into a unique non-negative tag.
+func tagFor(step int, b schedule.Block) int {
+	return ((step+1)&0xFFFF)<<40 | (b.Tile&0xFFFF)<<24 | (b.Level&0xFF)<<16 | (b.Index & 0xFFFF)
+}
+
+// EncodeFragments serialises a fragment list with the given codec:
+// uvarint(count), then per fragment uvarint(lo), uvarint(hi),
+// uvarint(len(enc)), enc. It also reports the raw and encoded payload
+// sizes. The format is shared with the virtual-time simulator so both
+// account wire bytes identically.
+func EncodeFragments(frags []fragstore.Fragment, cdc codec.Codec) (buf []byte, raw, wire int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	put(uint64(len(frags)))
+	for _, f := range frags {
+		enc := cdc.Encode(f.Data)
+		raw += int64(len(f.Data))
+		wire += int64(len(enc))
+		put(uint64(f.Rng.Lo))
+		put(uint64(f.Rng.Hi))
+		put(uint64(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, raw, wire
+}
+
+// DecodeFragments inverts EncodeFragments for a block of npix pixels.
+func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fragment, error) {
+	nfrags, off := binary.Uvarint(payload)
+	if off <= 0 {
+		return nil, fmt.Errorf("compositor: corrupt block message header")
+	}
+	rest := payload[off:]
+	incoming := make([]fragstore.Fragment, 0, nfrags)
+	for i := uint64(0); i < nfrags; i++ {
+		var vals [3]uint64
+		for j := range vals {
+			v, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return nil, fmt.Errorf("compositor: corrupt fragment header")
+			}
+			vals[j], rest = v, rest[k:]
+		}
+		n := vals[2]
+		if uint64(len(rest)) < n {
+			return nil, fmt.Errorf("compositor: corrupt fragment length")
+		}
+		data, err := cdc.Decode(rest[:n], npix)
+		if err != nil {
+			return nil, fmt.Errorf("compositor: decoding fragment: %w", err)
+		}
+		rest = rest[n:]
+		incoming = append(incoming, fragstore.Fragment{
+			Rng:  schedule.RankRange{Lo: int(vals[0]), Hi: int(vals[1])},
+			Data: data,
+		})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("compositor: %d trailing bytes in block message", len(rest))
+	}
+	return incoming, nil
+}
+
+func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, step int, tr schedule.Transfer) error {
+	frags, err := st.Take(tr.Block)
+	if err != nil {
+		return err
+	}
+	buf, raw, wire := EncodeFragments(frags, cdc)
+	rep.RawBytes += raw
+	rep.WireBytes += wire
+	return c.Send(tr.To, tagFor(step, tr.Block), buf)
+}
+
+func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tr schedule.Transfer, payload []byte) error {
+	incoming, err := DecodeFragments(payload, cdc, st.Span(tr.Block).Len())
+	if err != nil {
+		return fmt.Errorf("block %v from rank %d: %w", tr.Block, tr.From, err)
+	}
+	overPix, err := st.Merge(tr.Block, incoming)
+	if err != nil {
+		return err
+	}
+	rep.OverPixels += overPix
+	return nil
+}
+
+// gather ships every rank's final blocks to root and assembles the final
+// image there. Block payloads travel raw: they are dense after compositing,
+// and the paper's composition-time figures exclude the gather as a common
+// cost across all methods.
+func gather(c comm.Comm, st *fragstore.Store, root, w, h int) (*raster.Image, error) {
+	var seq comm.Sequencer
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	blocks := st.Blocks()
+	put(uint64(len(blocks)))
+	for _, b := range blocks {
+		put(uint64(b.Tile))
+		put(uint64(b.Level))
+		put(uint64(b.Index))
+		buf = append(buf, st.Frags(b)[0].Data...)
+	}
+	parts, err := comm.Gather(c, &seq, root, buf)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	out := raster.New(w, h)
+	covered := 0
+	for r, part := range parts {
+		nblocks, off := binary.Uvarint(part)
+		if off <= 0 {
+			return nil, fmt.Errorf("compositor: corrupt gather payload from rank %d", r)
+		}
+		rest := part[off:]
+		for i := uint64(0); i < nblocks; i++ {
+			var vals [3]uint64
+			for j := range vals {
+				v, k := binary.Uvarint(rest)
+				if k <= 0 {
+					return nil, fmt.Errorf("compositor: corrupt gather block header from rank %d", r)
+				}
+				vals[j], rest = v, rest[k:]
+			}
+			b := schedule.Block{Tile: int(vals[0]), Level: int(vals[1]), Index: int(vals[2])}
+			span := b.Span(st.Tiles())
+			n := span.Len() * raster.BytesPerPixel
+			if len(rest) < n {
+				return nil, fmt.Errorf("compositor: truncated gather block from rank %d", r)
+			}
+			out.InsertSpan(span, rest[:n])
+			rest = rest[n:]
+			covered += span.Len()
+		}
+	}
+	if covered != w*h {
+		return nil, fmt.Errorf("compositor: gathered blocks cover %d of %d pixels", covered, w*h)
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+// Package core is the library facade: it wires the full parallel volume
+// rendering pipeline of the paper — data partitioning, shear-warp
+// rendering, image composition, final warp — behind a single configuration
+// struct, running either on the in-process goroutine fabric or on caller-
+// provided communicators (one OS process per rank over TCP).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/compositor"
+	"rtcomp/internal/model"
+	"rtcomp/internal/partition"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/shearwarp"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/transport/inproc"
+	"rtcomp/internal/volume"
+	"rtcomp/internal/xfer"
+)
+
+// Method selects a composition method.
+type Method struct {
+	// Kind is one of "bs" (binary-swap), "pp" (parallel-pipelined),
+	// "ds" (direct-send), "tree" (binary tree), "radixk" (radix-k with
+	// balanced factors), "nrt" (N_RT), "2nrt" (2N_RT) or "rt"
+	// (rotate-tiling without the paper's parity restrictions).
+	Kind string
+	// N is the number of initial blocks for the rotate-tiling kinds.
+	N int
+}
+
+// ParseMethod parses "bs", "pp", "ds", "nrt:3", "2nrt:4", "rt:5". For the
+// rotate-tiling kinds, ":auto" (or N = 0) defers the block count to the
+// census predictor at render time (see model.AutoN).
+func ParseMethod(s string) (Method, error) {
+	kind, nstr, hasN := strings.Cut(s, ":")
+	m := Method{Kind: kind, N: 4}
+	if hasN {
+		if nstr == "auto" {
+			m.N = 0
+		} else {
+			n, err := strconv.Atoi(nstr)
+			if err != nil {
+				return Method{}, fmt.Errorf("core: bad method %q: %v", s, err)
+			}
+			m.N = n
+		}
+	}
+	switch kind {
+	case "bs", "pp", "ds", "tree", "radixk", "nrt", "2nrt", "rt":
+		return m, nil
+	}
+	return Method{}, fmt.Errorf("core: unknown method %q", s)
+}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m.Kind {
+	case "nrt", "2nrt", "rt":
+		return fmt.Sprintf("%s:%d", m.Kind, m.N)
+	}
+	return m.Kind
+}
+
+// ResolveN fills in an automatic block count (N == 0) for the
+// rotate-tiling kinds, using the census predictor with SP2-calibrated
+// constants for an image of apix pixels. Other kinds pass through.
+func (m Method) ResolveN(p, apix int) (Method, error) {
+	switch m.Kind {
+	case "nrt", "2nrt", "rt":
+		if m.N != 0 {
+			return m, nil
+		}
+	default:
+		return m, nil
+	}
+	cal := simnet.SP2Calibrated()
+	n, err := model.AutoN(p, apix, model.Params{Ts: cal.Ts, Tp: cal.TpPerByte, To: cal.ToPerPixel},
+		0, m.Kind == "2nrt")
+	if err != nil {
+		return Method{}, err
+	}
+	m.N = n
+	return m, nil
+}
+
+// Schedule builds the method's composition schedule for p ranks.
+func (m Method) Schedule(p int) (*schedule.Schedule, error) {
+	switch m.Kind {
+	case "bs":
+		return schedule.BinarySwap(p)
+	case "pp":
+		return schedule.Pipeline(p)
+	case "ds":
+		return schedule.DirectSend(p)
+	case "tree":
+		return schedule.Tree(p)
+	case "radixk":
+		factors, err := schedule.DefaultFactors(p)
+		if err != nil {
+			return nil, err
+		}
+		return schedule.RadixK(p, factors)
+	case "nrt":
+		return schedule.NRT(p, m.N)
+	case "2nrt":
+		return schedule.TwoNRT(p, m.N)
+	case "rt":
+		return schedule.RT(p, m.N)
+	}
+	return nil, fmt.Errorf("core: unknown method kind %q", m.Kind)
+}
+
+// Config describes one parallel rendering job.
+type Config struct {
+	// Dataset is a phantom name ("engine", "head", "brain").
+	Dataset string
+	// VolumeN is the cubic phantom resolution (e.g. 128).
+	VolumeN int
+	// Camera is the orthographic view.
+	Camera shearwarp.Camera
+	// Width, Height are the final (warped) image dimensions.
+	Width, Height int
+	// P is the number of ranks.
+	P int
+	// Method selects the composition schedule.
+	Method Method
+	// Codec names the wire compression ("raw", "rle", "trle").
+	Codec string
+	// Accelerate enables the opacity-coherence render acceleration
+	// (exact for the built-in transfer functions).
+	Accelerate bool
+	// RLE renders from a run-length encoded classified volume (built once
+	// per frame set), the Lacroute acceleration structure; byte-identical
+	// output, fastest per frame. Takes precedence over Accelerate.
+	RLE bool
+	// Partition selects the data-partitioning scheme of the render stage:
+	// "1d" (default, depth slabs — rank order is depth order) or "2d"
+	// (image-space tiles with disjoint footprints).
+	Partition string
+}
+
+// renderCtx carries the per-frame render state shared by all ranks.
+type renderCtx struct {
+	r    *shearwarp.Renderer
+	view *shearwarp.View
+	rle  *shearwarp.RLEVolume
+}
+
+func (cfg Config) newRenderCtx(r *shearwarp.Renderer, view *shearwarp.View) *renderCtx {
+	ctx := &renderCtx{r: r, view: view}
+	if cfg.RLE {
+		ctx.rle = shearwarp.NewRLEVolume(r.Vol, r.TF)
+	}
+	return ctx
+}
+
+// partials renders this rank's partial image under the configured
+// partitioning scheme.
+func (cfg Config) partials(ctx *renderCtx, rank int) (*raster.Image, error) {
+	view := ctx.view
+	switch cfg.Partition {
+	case "", "1d":
+		slabs, err := partition.Slabs1D(view.NK(), cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		return cfg.renderSlab(ctx, slabs[rank].Lo, slabs[rank].Hi)
+	case "2d":
+		wi, hi := view.IntermediateSize()
+		tiles, err := partition.Grid2D(wi, hi, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		tl := tiles[rank]
+		return ctx.r.RenderTile(view, tl.X0, tl.Y0, tl.X1, tl.Y1)
+	}
+	return nil, fmt.Errorf("core: unknown partition scheme %q", cfg.Partition)
+}
+
+// renderSlab dispatches on the configured acceleration.
+func (cfg Config) renderSlab(ctx *renderCtx, lo, hi int) (*raster.Image, error) {
+	switch {
+	case ctx.rle != nil:
+		return ctx.r.RenderSlabRLE(ctx.rle, ctx.view, lo, hi)
+	case cfg.Accelerate:
+		return ctx.r.RenderSlabAccel(ctx.view, lo, hi)
+	}
+	return ctx.r.RenderSlab(ctx.view, lo, hi)
+}
+
+// FrameReport is the outcome of a parallel frame.
+type FrameReport struct {
+	Image        *raster.Image // final warped image (on the root)
+	Intermediate *raster.Image // composited intermediate image (root)
+	RenderTime   time.Duration // slowest rank's render stage
+	CompositeAll time.Duration // wall time of the composition stage
+	WarpTime     time.Duration
+	Reports      []*compositor.Report // per-rank composition reports
+}
+
+// RenderParallel runs the pipeline on the in-process fabric: P goroutine
+// ranks each render their 1-D slab, composite with the configured method,
+// and rank 0 warps the gathered intermediate image.
+func RenderParallel(cfg Config) (*FrameReport, error) {
+	vol := volume.ByName(cfg.Dataset, cfg.VolumeN)
+	if vol == nil {
+		return nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	return RenderParallelVolume(cfg, vol, xfer.ForDataset(cfg.Dataset))
+}
+
+// RenderParallelVolume is RenderParallel with an explicit volume and
+// transfer function.
+func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*FrameReport, error) {
+	r := &shearwarp.Renderer{Vol: vol, TF: tf}
+	view, err := r.Factor(cfg.Camera)
+	if err != nil {
+		return nil, err
+	}
+	method, err := cfg.Method.ResolveN(cfg.P, cfg.Width*cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := method.Schedule(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	cdc, err := codec.ByName(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := cfg.newRenderCtx(r, view)
+	out := &FrameReport{Reports: make([]*compositor.Report, cfg.P)}
+	renderTimes := make([]time.Duration, cfg.P)
+	var mu sync.Mutex
+	compositeStart := time.Now()
+	err = inproc.Run(cfg.P, func(c comm.Comm) error {
+		t0 := time.Now()
+		partial, err := cfg.partials(ctx, c.Rank())
+		if err != nil {
+			return err
+		}
+		renderTimes[c.Rank()] = time.Since(t0)
+		img, rep, err := compositor.Run(c, sched, partial, compositor.Options{Codec: cdc, GatherRoot: 0})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		out.Reports[c.Rank()] = rep
+		if img != nil {
+			out.Intermediate = img
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.CompositeAll = time.Since(compositeStart)
+	for _, rt := range renderTimes {
+		if rt > out.RenderTime {
+			out.RenderTime = rt
+		}
+	}
+	t0 := time.Now()
+	out.Image, err = r.Warp(view, out.Intermediate, cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	out.WarpTime = time.Since(t0)
+	return out, nil
+}
+
+// RenderSerial renders the same frame without parallelism — the reference
+// the parallel result must match (to quantisation).
+func RenderSerial(cfg Config) (*raster.Image, error) {
+	vol := volume.ByName(cfg.Dataset, cfg.VolumeN)
+	if vol == nil {
+		return nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	r := &shearwarp.Renderer{Vol: vol, TF: xfer.ForDataset(cfg.Dataset)}
+	return r.Render(cfg.Camera, cfg.Width, cfg.Height)
+}
+
+// RenderRank runs one rank of the pipeline over a caller-provided
+// communicator — the building block of the multi-process TCP deployment
+// (cmd/rtnode). It returns the final warped image on rank 0.
+func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, error) {
+	vol := volume.ByName(cfg.Dataset, cfg.VolumeN)
+	if vol == nil {
+		return nil, nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	r := &shearwarp.Renderer{Vol: vol, TF: xfer.ForDataset(cfg.Dataset)}
+	view, err := r.Factor(cfg.Camera)
+	if err != nil {
+		return nil, nil, err
+	}
+	method, err := cfg.Method.ResolveN(cfg.P, cfg.Width*cfg.Height)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := method.Schedule(cfg.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	cdc, err := codec.ByName(cfg.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	partial, err := cfg.partials(cfg.newRenderCtx(r, view), c.Rank())
+	if err != nil {
+		return nil, nil, err
+	}
+	inter, rep, err := compositor.Run(c, sched, partial, compositor.Options{Codec: cdc, GatherRoot: 0})
+	if err != nil {
+		return nil, nil, err
+	}
+	if inter == nil {
+		return nil, rep, nil
+	}
+	final, err := r.Warp(view, inter, cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, nil, err
+	}
+	return final, rep, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/stats"
+)
+
+// runContention studies the methods under two machine-model stresses the
+// SP2 baseline hides: a one-port network (incoming messages serialise
+// through each receive port) and a single 3x straggler rank. Methods that
+// spread traffic and work — the rotate-tiling idea — should degrade least.
+func runContention(o Options) ([]*stats.Table, error) {
+	p := o.P
+	layers, err := Partials(o, p)
+	if err != nil {
+		return nil, err
+	}
+	type mth struct {
+		name string
+		sch  *schedule.Schedule
+		err  error
+	}
+	var methods []mth
+	if schedule.IsPowerOfTwo(p) {
+		bs, err := schedule.BinarySwap(p)
+		methods = append(methods, mth{"BS", bs, err})
+	}
+	pp, err := schedule.Pipeline(p)
+	methods = append(methods, mth{"PP", pp, err})
+	ds, err := schedule.DirectSend(p)
+	methods = append(methods, mth{"DS", ds, err})
+	rt, err := schedule.TwoNRT(p, 4)
+	methods = append(methods, mth{"2N_RT(4)", rt, err})
+
+	base := o.Sim
+	onePort := o.Sim
+	onePort.SinglePort = true
+	straggler := o.Sim
+	straggler.RankSpeed = make([]float64, p)
+	for i := range straggler.RankSpeed {
+		straggler.RankSpeed[i] = 1
+	}
+	straggler.RankSpeed[p/2] = 3
+
+	t := &stats.Table{
+		Title: fmt.Sprintf("Contention and stragglers (dataset %s, P=%d, %dx%d)",
+			o.Dataset, p, o.Width, o.Height),
+		Headers: []string{"method", "baseline", "one-port", "penalty", "3x straggler", "penalty"},
+	}
+	for _, m := range methods {
+		if m.err != nil {
+			return nil, m.err
+		}
+		b, err := simnet.Simulate(m.sch, layers, codec.Raw{}, base)
+		if err != nil {
+			return nil, err
+		}
+		op, err := simnet.Simulate(m.sch, layers, codec.Raw{}, onePort)
+		if err != nil {
+			return nil, err
+		}
+		st, err := simnet.Simulate(m.sch, layers, codec.Raw{}, straggler)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m.name, stats.Seconds(b.Time),
+			stats.Seconds(op.Time), fmt.Sprintf("%.2fx", op.Time/b.Time),
+			stats.Seconds(st.Time), fmt.Sprintf("%.2fx", st.Time/b.Time))
+	}
+	t.Note("one rank runs at a third of nominal speed in the straggler column; one-port serialises each receive port")
+	return []*stats.Table{t}, nil
+}

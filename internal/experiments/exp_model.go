@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtcomp/internal/model"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/stats"
+)
+
+// runTable1 evaluates the paper's Table 1 formulas — steps, block sizes,
+// communication and computation time — for each method, and sets the
+// symbolic census of the implemented schedules next to the model.
+func runTable1(o Options) ([]*stats.Table, error) {
+	m := o.Model
+	apix := o.Apix()
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 1 — theoretical costs (P=%d, A=%dx%d, Ts=%g, Tp=%g, To=%g)", o.P, o.Width, o.Height, m.Ts, m.Tp, m.To),
+		Headers: []string{"method", "steps", "T_comm", "T_comp", "T_total"},
+	}
+	type row struct {
+		name  string
+		steps int
+		cost  model.Cost
+	}
+	s := schedule.CeilLog2(o.P)
+	rows := []row{
+		{"BS", s, model.BS(o.P, apix, m)},
+		{"PP", o.P - 1, model.PP(o.P, apix, m)},
+		{"2N_RT(N=4)", s, model.TwoNRT(o.P, 4, apix, m)},
+		{"N_RT(N=3)", s, model.NRT(o.P, 3, apix, m)},
+	}
+	for _, r := range rows {
+		t.Add(r.name, fmt.Sprint(r.steps),
+			stats.Seconds(r.cost.Comm), stats.Seconds(r.cost.Comp), stats.Seconds(r.cost.Total()))
+	}
+	t.Note("block size at step k: BS A/2^k, PP A/P, RT A/(N*2^(k-1)) — as printed in Table 1")
+
+	// Companion: the implemented schedules' symbolic traffic census.
+	c := &stats.Table{
+		Title:   "Implemented schedules — symbolic traffic census (raw codec)",
+		Headers: []string{"method", "steps", "messages", "payload", "over-pixels"},
+	}
+	add := func(name string, sch *schedule.Schedule, err error) error {
+		if err != nil {
+			return err
+		}
+		census, err := schedule.Validate(sch, apix)
+		if err != nil {
+			return err
+		}
+		c.Add(name, fmt.Sprint(sch.NumSteps()), fmt.Sprint(census.TotalMessages()),
+			stats.IBytes(census.TotalBytes()), fmt.Sprint(census.TotalOverPixels()))
+		return nil
+	}
+	bs, errBS := schedule.BinarySwap(o.P)
+	if errBS == nil {
+		if err := add("BS", bs, nil); err != nil {
+			return nil, err
+		}
+	}
+	pp, err := schedule.Pipeline(o.P)
+	if err == nil {
+		err = add("PP", pp, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{3, 4} {
+		sch, err := schedule.RT(o.P, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(fmt.Sprintf("RT(N=%d)", n), sch, nil); err != nil {
+			return nil, err
+		}
+	}
+	return []*stats.Table{t, c}, nil
+}
+
+// runEq56 evaluates the Equation (5)/(6) optimal-N machinery across
+// processor counts, reproducing the paper's worked example at P=32.
+func runEq56(o Options) ([]*stats.Table, error) {
+	m := o.Model
+	apix := o.Apix()
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Equations (5)/(6) — optimal initial blocks (A=%dx%d, Ts=%g, Tp=%g, To=%g)", o.Width, o.Height, m.Ts, m.Tp, m.To),
+		Headers: []string{"P", "eq5 bound", "2N_RT N", "eq6 bound", "N_RT N", "closed-form best even N"},
+	}
+	for _, p := range []int{4, 8, 16, 32, 64} {
+		b5, n5 := model.OptimalN2NRT(p, apix, m)
+		b6, n6 := model.OptimalNNRT(p, apix, m)
+		best := model.BestNByClosedForm(p, apix, 64, true, m)
+		t.Add(fmt.Sprint(p), fmt.Sprintf("%.2f", b5), fmt.Sprint(n5),
+			fmt.Sprintf("%.2f", b6), fmt.Sprint(n6), fmt.Sprint(best))
+	}
+	t.Note("paper's worked example at P=32: Eq (5) bound ~4.3 -> N=4; Eq (6) printed formula gives ~5.4 where the paper states 3.4 (OCR-damaged closed form, see DESIGN.md)")
+	return []*stats.Table{t}, nil
+}

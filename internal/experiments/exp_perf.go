@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/model"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/stats"
+)
+
+// simTime runs one simulated composition and returns its composition time.
+func simTime(sch *schedule.Schedule, layers []*raster.Image, codecName string, p simnet.Params) (float64, error) {
+	cdc, err := codec.ByName(codecName)
+	if err != nil {
+		return 0, err
+	}
+	res, err := simnet.Simulate(sch, layers, cdc, p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// runFig5 sweeps the number of initial blocks for both RT variants,
+// printing the paper's theoretical series (Table 1 sums and the closed
+// form) beside the simulated experimental series.
+func runFig5(o Options) ([]*stats.Table, error) {
+	layers, err := Partials(o, o.P)
+	if err != nil {
+		return nil, err
+	}
+	apix := o.Apix()
+	t := &stats.Table{
+		Title: fmt.Sprintf("Figure 5 — composition time vs initial blocks (dataset %s, P=%d, %dx%d)",
+			o.Dataset, o.P, o.Width, o.Height),
+		Headers: []string{"N", "N_RT model", "N_RT closed", "N_RT sim", "2N_RT model", "2N_RT closed", "2N_RT sim"},
+	}
+	bestSim, bestN := -1.0, 0
+	for n := 1; n <= o.MaxN; n++ {
+		row := []string{fmt.Sprint(n)}
+		if o.P%2 == 0 {
+			sch, err := schedule.NRT(o.P, n)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := simTime(sch, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				stats.Seconds(model.NRT(o.P, n, apix, o.Model).Total()),
+				stats.Seconds(model.ClosedFormRT(o.P, n, apix, o.Model)),
+				stats.Seconds(sim))
+			if bestSim < 0 || sim < bestSim {
+				bestSim, bestN = sim, n
+			}
+		} else {
+			row = append(row, "-", "-", "-")
+		}
+		if n%2 == 0 {
+			sch, err := schedule.TwoNRT(o.P, n)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := simTime(sch, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				stats.Seconds(model.TwoNRT(o.P, n, apix, o.Model).Total()),
+				stats.Seconds(model.ClosedFormRT(o.P, n, apix, o.Model)),
+				stats.Seconds(sim))
+		} else {
+			row = append(row, "-", "-", "-")
+		}
+		t.Add(row...)
+	}
+	b5, n5 := model.OptimalN2NRT(o.P, apix, o.Model)
+	t.Note("simulated minimum at N=%d (%.4fs); Eq (5) closed-form bound %.2f -> N=%d under the paper's constants",
+		bestN, bestSim, b5, n5)
+	return []*stats.Table{t}, nil
+}
+
+// fig6P returns the processor sweep of Figure 6.
+func fig6P(o Options) []int {
+	if o.Quick {
+		return []int{2, 4, 8}
+	}
+	return []int{2, 4, 8, 16, 24, 32}
+}
+
+// runFig6 compares the four methods across processor counts: the paper's
+// theoretical totals and the simulated times, with the RT variants at their
+// Figure 6 block counts (N=4 for 2N_RT, N=3 for N_RT).
+func runFig6(o Options) ([]*stats.Table, error) {
+	apix := o.Apix()
+	t := &stats.Table{
+		Title: fmt.Sprintf("Figure 6 — composition time of BS, PP, 2N_RT(4), N_RT(3) (dataset %s, %dx%d)",
+			o.Dataset, o.Width, o.Height),
+		Headers: []string{"P", "BS model", "BS sim", "PP model", "PP sim",
+			"2N_RT model", "2N_RT sim", "N_RT model", "N_RT sim"},
+	}
+	for _, p := range fig6P(o) {
+		layers, err := Partials(o, p)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(p)}
+		if schedule.IsPowerOfTwo(p) {
+			sch, _ := schedule.BinarySwap(p)
+			sim, err := simTime(sch, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Seconds(model.BS(p, apix, o.Model).Total()), stats.Seconds(sim))
+		} else {
+			row = append(row, "-", "-")
+		}
+		ppSch, err := schedule.Pipeline(p)
+		if err != nil {
+			return nil, err
+		}
+		ppSim, err := simTime(ppSch, layers, "raw", o.Sim)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, stats.Seconds(model.PP(p, apix, o.Model).Total()), stats.Seconds(ppSim))
+
+		rt4, err := schedule.TwoNRT(p, 4)
+		if err != nil {
+			return nil, err
+		}
+		rt4Sim, err := simTime(rt4, layers, "raw", o.Sim)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, stats.Seconds(model.TwoNRT(p, 4, apix, o.Model).Total()), stats.Seconds(rt4Sim))
+
+		if p%2 == 0 {
+			rt3, err := schedule.NRT(p, 3)
+			if err != nil {
+				return nil, err
+			}
+			rt3Sim, err := simTime(rt3, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Seconds(model.NRT(p, 3, apix, o.Model).Total()), stats.Seconds(rt3Sim))
+		} else {
+			row = append(row, "-", "-")
+		}
+		t.Add(row...)
+	}
+	t.Note("expected shape: RT variants beat BS and PP at the largest P; PP degrades linearly with P")
+	return []*stats.Table{t}, nil
+}
+
+// runFig7 sweeps initial blocks for both RT variants with and without TRLE.
+func runFig7(o Options) ([]*stats.Table, error) {
+	layers, err := Partials(o, o.P)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Figure 7 — RT composition time with and without TRLE (dataset %s, P=%d, %dx%d)",
+			o.Dataset, o.P, o.Width, o.Height),
+		Headers: []string{"N", "N_RT raw", "N_RT trle", "2N_RT raw", "2N_RT trle"},
+	}
+	for n := 1; n <= o.MaxN; n++ {
+		row := []string{fmt.Sprint(n)}
+		if o.P%2 == 0 {
+			sch, err := schedule.NRT(o.P, n)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := simTime(sch, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			trle, err := simTime(sch, layers, "trle", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Seconds(raw), stats.Seconds(trle))
+		} else {
+			row = append(row, "-", "-")
+		}
+		if n%2 == 0 {
+			sch, err := schedule.TwoNRT(o.P, n)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := simTime(sch, layers, "raw", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			trle, err := simTime(sch, layers, "trle", o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Seconds(raw), stats.Seconds(trle))
+		} else {
+			row = append(row, "-", "-")
+		}
+		t.Add(row...)
+	}
+	t.Note("TRLE shrinks every transfer, so the whole curve shifts down")
+	return []*stats.Table{t}, nil
+}
+
+// runFig8 crosses the four methods with the three codecs at the headline
+// processor count.
+func runFig8(o Options) ([]*stats.Table, error) {
+	layers, err := Partials(o, o.P)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Figure 8 — composition time with raw, RLE and TRLE (dataset %s, P=%d, %dx%d)",
+			o.Dataset, o.P, o.Width, o.Height),
+		Headers: []string{"method", "raw", "rle", "trle"},
+	}
+	type m struct {
+		name string
+		sch  *schedule.Schedule
+		err  error
+	}
+	var methods []m
+	if schedule.IsPowerOfTwo(o.P) {
+		bs, err := schedule.BinarySwap(o.P)
+		methods = append(methods, m{"BS", bs, err})
+	}
+	pp, err := schedule.Pipeline(o.P)
+	methods = append(methods, m{"PP", pp, err})
+	rt4, err := schedule.TwoNRT(o.P, 4)
+	methods = append(methods, m{"2N_RT(4)", rt4, err})
+	if o.P%2 == 0 {
+		rt3, err := schedule.NRT(o.P, 3)
+		methods = append(methods, m{"N_RT(3)", rt3, err})
+	}
+	for _, mm := range methods {
+		if mm.err != nil {
+			return nil, mm.err
+		}
+		row := []string{mm.name}
+		for _, cname := range codec.Names() {
+			sim, err := simTime(mm.sch, layers, cname, o.Sim)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Seconds(sim))
+		}
+		t.Add(row...)
+	}
+	t.Note("expected ordering per method: trle < rle < raw; RT variants fastest overall")
+	return []*stats.Table{t}, nil
+}
+
+// runCompress reports the compression behaviour of real rendered partial
+// images across the three datasets — the data behind the paper's claim
+// that TRLE outcompresses RLE on gray images.
+func runCompress(o Options) ([]*stats.Table, error) {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Partial-image compression (P=%d, %dx%d)", o.P, o.Width, o.Height),
+		Headers: []string{"dataset", "blank fraction", "rle ratio", "trle ratio"},
+	}
+	for _, ds := range []string{"engine", "head", "brain"} {
+		local := o
+		local.Dataset = ds
+		layers, err := Partials(local, o.P)
+		if err != nil {
+			return nil, err
+		}
+		var blanks []float64
+		var raw, rle, trle int64
+		for _, im := range layers {
+			blanks = append(blanks, im.BlankFraction())
+			raw += int64(len(im.Pix))
+			rle += int64(len(codec.RLE{}.Encode(im.Pix)))
+			trle += int64(len(codec.TRLE{}.Encode(im.Pix)))
+		}
+		t.Add(ds, fmt.Sprintf("%.2f", stats.Mean(blanks)),
+			fmt.Sprintf("%.2f", codec.Ratio(int(raw), int(rle))),
+			fmt.Sprintf("%.2f", codec.Ratio(int(raw), int(trle))))
+	}
+	t.Note("ratios are original/encoded over all ranks' partial images")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/model"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/stats"
+)
+
+// runPredict sets the census-based analytic predictor (the reconstruction's
+// "theoretical" series) against the virtual-time simulator for every
+// method — our analogue of the paper's theory-matches-experiment claim in
+// Figure 5/6.
+func runPredict(o Options) ([]*stats.Table, error) {
+	layers, err := Partials(o, o.P)
+	if err != nil {
+		return nil, err
+	}
+	m := model.Params{Ts: o.Sim.Ts, Tp: o.Sim.TpPerByte, To: o.Sim.ToPerPixel}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Census predictor vs simulator (dataset %s, P=%d, %dx%d, %s constants)",
+			o.Dataset, o.P, o.Width, o.Height, o.Sim.Name),
+		Headers: []string{"method", "predicted", "simulated", "pred/sim"},
+	}
+	type mth struct {
+		name string
+		sch  *schedule.Schedule
+		err  error
+	}
+	var methods []mth
+	if schedule.IsPowerOfTwo(o.P) {
+		bs, err := schedule.BinarySwap(o.P)
+		methods = append(methods, mth{"BS", bs, err})
+	}
+	tree, err := schedule.Tree(o.P)
+	methods = append(methods, mth{"Tree", tree, err})
+	pp, err := schedule.Pipeline(o.P)
+	methods = append(methods, mth{"PP", pp, err})
+	for _, n := range []int{2, 4, 8} {
+		rt, err := schedule.RT(o.P, n)
+		methods = append(methods, mth{fmt.Sprintf("RT(N=%d)", n), rt, err})
+	}
+	for _, mm := range methods {
+		if mm.err != nil {
+			return nil, mm.err
+		}
+		census, err := schedule.Validate(mm.sch, o.Apix())
+		if err != nil {
+			return nil, err
+		}
+		pred := model.PredictFromCensus(census, m)
+		res, err := simnet.Simulate(mm.sch, layers, codec.Raw{}, o.Sim)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if res.Time > 0 {
+			ratio = pred / res.Time
+		}
+		t.Add(mm.name, stats.Seconds(pred), stats.Seconds(res.Time), fmt.Sprintf("%.2f", ratio))
+	}
+	t.Note("the predictor ignores cross-step slack and blank-pixel over short-circuits, so it sits above the simulator; both must rank the methods the same way")
+	return []*stats.Table{t}, nil
+}
+
+// runTimeline prints per-step completion times of the four methods — how
+// the composition progresses through its steps under the simulator.
+func runTimeline(o Options) ([]*stats.Table, error) {
+	layers, err := Partials(o, o.P)
+	if err != nil {
+		return nil, err
+	}
+	type series struct {
+		name  string
+		times []float64
+	}
+	var all []series
+	addSched := func(name string, sch *schedule.Schedule, err error) error {
+		if err != nil {
+			return err
+		}
+		res, err := simnet.Simulate(sch, layers, codec.Raw{}, o.Sim)
+		if err != nil {
+			return err
+		}
+		all = append(all, series{name, res.StepTime})
+		return nil
+	}
+	if schedule.IsPowerOfTwo(o.P) {
+		bs, err := schedule.BinarySwap(o.P)
+		if err := addSched("BS", bs, err); err != nil {
+			return nil, err
+		}
+	}
+	pp, err := schedule.Pipeline(o.P)
+	if err := addSched("PP", pp, err); err != nil {
+		return nil, err
+	}
+	rt4, err := schedule.TwoNRT(o.P, 4)
+	if err := addSched("2N_RT(4)", rt4, err); err != nil {
+		return nil, err
+	}
+
+	maxSteps := 0
+	for _, s := range all {
+		if len(s.times) > maxSteps {
+			maxSteps = len(s.times)
+		}
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Per-step completion times (dataset %s, P=%d, %dx%d)", o.Dataset, o.P, o.Width, o.Height),
+		Headers: []string{"step"},
+	}
+	for _, s := range all {
+		t.Headers = append(t.Headers, s.name)
+	}
+	for k := 0; k < maxSteps; k++ {
+		row := []string{fmt.Sprint(k + 1)}
+		for _, s := range all {
+			if k < len(s.times) {
+				row = append(row, stats.Seconds(s.times[k]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	t.Note("log-step methods finish their traffic in ceil(log2 P) rows; the pipeline needs P-1")
+	return []*stats.Table{t}, nil
+}

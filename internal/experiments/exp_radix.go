@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/stats"
+)
+
+// runRadix sets rotate-tiling against radix-k (the post-paper
+// generalisation of binary-swap used by IceT-era compositors) and the
+// classic baselines — an extension beyond the paper's evaluation. P must be
+// a power of two for the radix-k rounds.
+func runRadix(o Options) ([]*stats.Table, error) {
+	p := o.P
+	if !schedule.IsPowerOfTwo(p) {
+		return nil, fmt.Errorf("experiments: radix comparison needs a power-of-two P, got %d", p)
+	}
+	layers, err := Partials(o, p)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Extension — RT vs radix-k vs classic methods (dataset %s, P=%d, %dx%d)",
+			o.Dataset, p, o.Width, o.Height),
+		Headers: []string{"method", "steps", "messages", "payload", "sim time"},
+	}
+	type mth struct {
+		name string
+		sch  *schedule.Schedule
+		err  error
+	}
+	bs, errBS := schedule.BinarySwap(p)
+	tree, errTree := schedule.Tree(p)
+	rt, errRT := schedule.RT(p, 4)
+	var methods []mth
+	methods = append(methods, mth{"binary-tree", tree, errTree})
+	methods = append(methods, mth{"binary-swap", bs, errBS})
+	factorSets := [][]int{}
+	if def, err := schedule.DefaultFactors(p); err == nil {
+		factorSets = append(factorSets, def)
+	}
+	if p >= 8 {
+		factorSets = append(factorSets, []int{p}) // single-round direct exchange
+	}
+	for _, fs := range factorSets {
+		rk, err := schedule.RadixK(p, fs)
+		methods = append(methods, mth{fmt.Sprintf("radix-k%v", fs), rk, err})
+	}
+	methods = append(methods, mth{"RT(N=4)", rt, errRT})
+
+	for _, m := range methods {
+		if m.err != nil {
+			return nil, m.err
+		}
+		census, err := schedule.Validate(m.sch, o.Apix())
+		if err != nil {
+			return nil, err
+		}
+		res, err := simnet.Simulate(m.sch, layers, codec.Raw{}, o.Sim)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m.name, fmt.Sprint(m.sch.NumSteps()), fmt.Sprint(census.TotalMessages()),
+			stats.IBytes(census.TotalBytes()), stats.Seconds(res.Time))
+	}
+	t.Note("radix-k trades steps for per-round fan-out; RT additionally pipelines fine blocks, which is what beats binary-swap here")
+	return []*stats.Table{t}, nil
+}

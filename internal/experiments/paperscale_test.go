@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPaperScaleOrderings runs the headline figures at the paper's full
+// scale (P=32, 512x512) and pins the orderings the reproduction claims.
+// Skipped under -short.
+func TestPaperScaleOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale regression skipped in -short mode")
+	}
+	o := DefaultOptions()
+
+	// Figure 6: at P=32, 2N_RT(4) < BS < PP in the simulated series.
+	tables, err := runFig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row32 []string
+	for _, r := range tables[0].Rows {
+		if r[0] == "32" {
+			row32 = r
+		}
+	}
+	if row32 == nil {
+		t.Fatal("fig6 P=32 row missing")
+	}
+	bs := parseSeconds(t, row32[2])
+	pp := parseSeconds(t, row32[4])
+	rt := parseSeconds(t, row32[6])
+	if !(rt < bs && bs < pp) {
+		t.Fatalf("fig6 ordering broken: 2N_RT %v, BS %v, PP %v", rt, bs, pp)
+	}
+	if bs/rt < 1.05 {
+		t.Fatalf("RT speedup over BS degraded to %.2fx", bs/rt)
+	}
+
+	// Figure 5: the simulated N sweep must fall from N=1 to its minimum by
+	// at least 2x (the pipelining gain).
+	tables, err = runFig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := parseSeconds(t, tables[0].Rows[0][3])
+	best := n1
+	for _, r := range tables[0].Rows {
+		if r[3] == "-" {
+			continue
+		}
+		if v := parseSeconds(t, r[3]); v < best {
+			best = v
+		}
+	}
+	if n1/best < 2 {
+		t.Fatalf("fig5 N sweep gain only %.2fx", n1/best)
+	}
+
+	// Figure 8: TRLE beats raw for every method.
+	tables, err = runFig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tables[0].Rows {
+		raw := parseSeconds(t, r[1])
+		trle := parseSeconds(t, r[3])
+		if trle >= raw {
+			t.Fatalf("fig8 %s: trle %v not faster than raw %v", r[0], trle, raw)
+		}
+	}
+
+	// Equation (5) worked example at full scale.
+	tables, err = runEq56(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tables[0].Rows {
+		if r[0] == "32" && r[2] != "4" {
+			t.Fatalf("Eq(5) P=32 N = %s, want 4", r[2])
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package fragstore holds the per-rank block state shared by the parallel
+// compositor and the virtual-time simulator: for every block, a list of
+// depth-contiguous fragments, each a partial composite of an interval of
+// ranks. Merging adjacent fragments applies the "over" operator in depth
+// order; halving splits every block into its two children in place.
+package fragstore
+
+import (
+	"fmt"
+	"sort"
+
+	"rtcomp/internal/compose"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+)
+
+// Fragment is a depth-contiguous partial composite of one block: the layers
+// of ranks [Rng.Lo, Rng.Hi) composited in order.
+type Fragment struct {
+	Rng  schedule.RankRange
+	Data []byte
+}
+
+// Store is one rank's block state.
+type Store struct {
+	rank  int
+	tiles []raster.Span
+	held  map[schedule.Block][]Fragment
+}
+
+// New stages a rank's partial image into the initial tile blocks of a
+// schedule and returns the store.
+func New(rank int, sched *schedule.Schedule, local *raster.Image) *Store {
+	st := &Store{
+		rank:  rank,
+		tiles: sched.TileSpans(local.NPixels()),
+		held:  map[schedule.Block][]Fragment{},
+	}
+	for t := 0; t < sched.Tiles; t++ {
+		b := schedule.Block{Tile: t}
+		st.held[b] = []Fragment{{
+			Rng:  schedule.RankRange{Lo: rank, Hi: rank + 1},
+			Data: local.ExtractSpan(b.Span(st.tiles)),
+		}}
+	}
+	return st
+}
+
+// Rank returns the owning rank.
+func (st *Store) Rank() int { return st.rank }
+
+// Tiles returns the tile spans of the image being composited.
+func (st *Store) Tiles() []raster.Span { return st.tiles }
+
+// Span resolves a block to its pixel span.
+func (st *Store) Span(b schedule.Block) raster.Span { return b.Span(st.tiles) }
+
+// Len reports how many blocks the store currently holds.
+func (st *Store) Len() int { return len(st.held) }
+
+// Frags returns the fragment list of a block (nil if not held).
+func (st *Store) Frags(b schedule.Block) []Fragment { return st.held[b] }
+
+// Take removes and returns a block's fragments; it errors if the block is
+// not held.
+func (st *Store) Take(b schedule.Block) ([]Fragment, error) {
+	frags, ok := st.held[b]
+	if !ok || len(frags) == 0 {
+		return nil, fmt.Errorf("fragstore: rank %d does not hold block %v", st.rank, b)
+	}
+	delete(st.held, b)
+	return frags, nil
+}
+
+// Merge adds incoming fragments to a block and composites adjacent depth
+// ranges. It returns the number of pixels passed through the over kernel.
+func (st *Store) Merge(b schedule.Block, incoming []Fragment) (int64, error) {
+	merged, overPix, err := MergeFragments(append(st.held[b], incoming...))
+	if err != nil {
+		return 0, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+	}
+	st.held[b] = merged
+	return overPix, nil
+}
+
+// HalveAll splits every held block into its two children. The children
+// alias disjoint halves of the parent buffers, so no pixel data is copied.
+func (st *Store) HalveAll() {
+	next := make(map[schedule.Block][]Fragment, 2*len(st.held))
+	for b, frags := range st.held {
+		c0, c1 := b.Halves()
+		cut := c0.Span(st.tiles).Len() * raster.BytesPerPixel
+		f0 := make([]Fragment, len(frags))
+		f1 := make([]Fragment, len(frags))
+		for i, f := range frags {
+			f0[i] = Fragment{Rng: f.Rng, Data: f.Data[:cut]}
+			f1[i] = Fragment{Rng: f.Rng, Data: f.Data[cut:]}
+		}
+		next[c0], next[c1] = f0, f1
+	}
+	st.held = next
+}
+
+// Blocks returns the held blocks sorted by their pixel span position.
+func (st *Store) Blocks() []schedule.Block {
+	blocks := make([]schedule.Block, 0, len(st.held))
+	for b := range st.held {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		return blocks[i].Span(st.tiles).Lo < blocks[j].Span(st.tiles).Lo
+	})
+	return blocks
+}
+
+// CheckComplete verifies every held block is fully composited over all p
+// ranks.
+func (st *Store) CheckComplete(p int) error {
+	full := schedule.RankRange{Lo: 0, Hi: p}
+	for b, frags := range st.held {
+		if len(frags) != 1 || frags[0].Rng != full {
+			return fmt.Errorf("fragstore: rank %d finished with block %v composited over %v",
+				st.rank, b, ranges(frags))
+		}
+	}
+	return nil
+}
+
+// MergeFragments sorts fragments by depth range and composites adjacent
+// ones (front over back), returning the coalesced list and the number of
+// pixels composited. Overlapping ranges are an error: some layer would be
+// composited twice.
+func MergeFragments(frags []Fragment) ([]Fragment, int64, error) {
+	sort.Slice(frags, func(i, j int) bool { return frags[i].Rng.Lo < frags[j].Rng.Lo })
+	var overPix int64
+	out := frags[:1]
+	for _, f := range frags[1:] {
+		last := &out[len(out)-1]
+		switch {
+		case f.Rng.Lo < last.Rng.Hi:
+			return nil, 0, fmt.Errorf("fragments %v and %v overlap", last.Rng, f.Rng)
+		case f.Rng.Lo == last.Rng.Hi:
+			// last is in front: composite last over f, adopting f's buffer
+			// so sibling halves sharing last's parent buffer stay intact.
+			overPix += int64(compose.OverU8(f.Data, last.Data, f.Data))
+			last.Rng.Hi = f.Rng.Hi
+			last.Data = f.Data
+		default:
+			out = append(out, f)
+		}
+	}
+	return out, overPix, nil
+}
+
+func ranges(frags []Fragment) []schedule.RankRange {
+	out := make([]schedule.RankRange, len(frags))
+	for i, f := range frags {
+		out[i] = f.Rng
+	}
+	return out
+}

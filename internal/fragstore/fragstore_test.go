@@ -1,0 +1,175 @@
+package fragstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+)
+
+func newStore(t *testing.T, rank, p, tiles, w, h int) *Store {
+	t.Helper()
+	sched, err := schedule.RT(p, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(rank) + 1))
+	return New(rank, sched, raster.RandomImage(rng, w, h, 0.3))
+}
+
+func TestNewStagesTiles(t *testing.T) {
+	st := newStore(t, 1, 4, 3, 20, 10)
+	if st.Rank() != 1 {
+		t.Fatalf("rank = %d", st.Rank())
+	}
+	if st.Len() != 3 {
+		t.Fatalf("holds %d blocks, want 3", st.Len())
+	}
+	total := 0
+	for _, b := range st.Blocks() {
+		frags := st.Frags(b)
+		if len(frags) != 1 {
+			t.Fatalf("block %v has %d fragments", b, len(frags))
+		}
+		if frags[0].Rng != (schedule.RankRange{Lo: 1, Hi: 2}) {
+			t.Fatalf("block %v provenance %v", b, frags[0].Rng)
+		}
+		total += st.Span(b).Len()
+	}
+	if total != 200 {
+		t.Fatalf("tiles cover %d of 200 pixels", total)
+	}
+}
+
+func TestTakeRemovesAndErrors(t *testing.T) {
+	st := newStore(t, 0, 2, 2, 8, 8)
+	b := schedule.Block{Tile: 0}
+	frags, err := st.Take(b)
+	if err != nil || len(frags) != 1 {
+		t.Fatalf("Take = %v, %v", frags, err)
+	}
+	if _, err := st.Take(b); err == nil {
+		t.Fatal("second Take succeeded")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d after Take", st.Len())
+	}
+}
+
+func TestMergeAdjacentComposites(t *testing.T) {
+	st := newStore(t, 1, 3, 1, 8, 1)
+	b := schedule.Block{Tile: 0}
+	// Incoming front fragment from rank 0.
+	incoming := []Fragment{{
+		Rng:  schedule.RankRange{Lo: 0, Hi: 1},
+		Data: make([]byte, 16),
+	}}
+	over, err := st.Merge(b, incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 8 {
+		t.Fatalf("over pixels = %d, want 8", over)
+	}
+	frags := st.Frags(b)
+	if len(frags) != 1 || frags[0].Rng != (schedule.RankRange{Lo: 0, Hi: 2}) {
+		t.Fatalf("merged provenance %v", frags[0].Rng)
+	}
+}
+
+func TestMergeNonAdjacentBuffers(t *testing.T) {
+	st := newStore(t, 0, 4, 1, 8, 1)
+	b := schedule.Block{Tile: 0}
+	incoming := []Fragment{{
+		Rng:  schedule.RankRange{Lo: 2, Hi: 3}, // gap at rank 1
+		Data: make([]byte, 16),
+	}}
+	over, err := st.Merge(b, incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 0 {
+		t.Fatalf("over pixels = %d for buffered merge", over)
+	}
+	if len(st.Frags(b)) != 2 {
+		t.Fatalf("fragments = %d, want 2 buffered", len(st.Frags(b)))
+	}
+	// Closing the gap composites both joins.
+	over, err = st.Merge(b, []Fragment{{
+		Rng:  schedule.RankRange{Lo: 1, Hi: 2},
+		Data: make([]byte, 16),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 16 {
+		t.Fatalf("over pixels = %d closing the gap, want 16", over)
+	}
+	if len(st.Frags(b)) != 1 {
+		t.Fatal("gap not closed")
+	}
+}
+
+func TestMergeOverlapRejected(t *testing.T) {
+	st := newStore(t, 1, 3, 1, 4, 1)
+	b := schedule.Block{Tile: 0}
+	_, err := st.Merge(b, []Fragment{{
+		Rng:  schedule.RankRange{Lo: 1, Hi: 2}, // duplicates local layer
+		Data: make([]byte, 8),
+	}})
+	if err == nil {
+		t.Fatal("overlapping merge accepted")
+	}
+}
+
+func TestHalveAllSharesBuffers(t *testing.T) {
+	st := newStore(t, 0, 2, 1, 8, 1)
+	parent := schedule.Block{Tile: 0}
+	parentData := st.Frags(parent)[0].Data
+	st.HalveAll()
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d after halve", st.Len())
+	}
+	c0, c1 := parent.Halves()
+	d0 := st.Frags(c0)[0].Data
+	d1 := st.Frags(c1)[0].Data
+	if len(d0)+len(d1) != len(parentData) {
+		t.Fatal("children do not cover parent")
+	}
+	// Children alias the parent buffer (no copying).
+	if &d0[0] != &parentData[0] {
+		t.Fatal("first child does not alias parent buffer")
+	}
+	if &d1[0] != &parentData[len(d0)] {
+		t.Fatal("second child does not alias parent tail")
+	}
+}
+
+func TestCheckComplete(t *testing.T) {
+	st := newStore(t, 0, 2, 1, 4, 1)
+	if err := st.CheckComplete(2); err == nil {
+		t.Fatal("incomplete store accepted")
+	}
+	if _, err := st.Merge(schedule.Block{Tile: 0}, []Fragment{{
+		Rng:  schedule.RankRange{Lo: 1, Hi: 2},
+		Data: make([]byte, 8),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckComplete(2); err != nil {
+		t.Fatalf("complete store rejected: %v", err)
+	}
+}
+
+func TestBlocksSortedBySpan(t *testing.T) {
+	st := newStore(t, 0, 2, 5, 50, 2)
+	prev := -1
+	for _, b := range st.Blocks() {
+		lo := st.Span(b).Lo
+		if lo <= prev {
+			t.Fatal("blocks not sorted by span")
+		}
+		prev = lo
+	}
+}

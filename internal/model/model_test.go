@@ -1,0 +1,196 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"rtcomp/internal/schedule"
+)
+
+const apix512 = 512 * 512
+
+func TestBSCostStructure(t *testing.T) {
+	m := PaperParams()
+	c := BS(32, apix512, m)
+	// 5 startups.
+	wantStartup := 5 * m.Ts
+	// Geometric transmission: A*(1-1/32) pixels * 2 bytes.
+	wantComm := wantStartup + float64(apix512)*(1-1.0/32)*2*m.Tp
+	if math.Abs(c.Comm-wantComm) > 1e-9 {
+		t.Fatalf("BS comm = %v, want %v", c.Comm, wantComm)
+	}
+	wantComp := float64(apix512) * (1 - 1.0/32) * m.To
+	if math.Abs(c.Comp-wantComp) > 1e-9 {
+		t.Fatalf("BS comp = %v, want %v", c.Comp, wantComp)
+	}
+}
+
+func TestPPCostStructure(t *testing.T) {
+	m := PaperParams()
+	p := 32
+	c := PP(p, apix512, m)
+	pix := float64(apix512) / float64(p)
+	if got, want := c.Comm, 31*(m.Ts+pix*2*m.Tp); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PP comm = %v, want %v", got, want)
+	}
+	if got, want := c.Comp, 31*pix*m.To; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PP comp = %v, want %v", got, want)
+	}
+	if got := PP(1, apix512, m).Total(); got != 0 {
+		t.Fatalf("PP(1) = %v, want 0", got)
+	}
+}
+
+func TestRTBlockSizeHalvesPerStep(t *testing.T) {
+	m := PaperParams()
+	// Doubling N must (nearly) halve the transmission and computation
+	// terms while startups stay fixed: check via differences.
+	c4 := TwoNRT(32, 4, apix512, m)
+	c8 := TwoNRT(32, 8, apix512, m)
+	startup := 0.0
+	for k := 1; k <= 5; k++ {
+		startup += float64(k) * m.Ts
+	}
+	if math.Abs((c4.Comm-startup)-2*(c8.Comm-startup)) > 1e-9 {
+		t.Fatalf("2N_RT comm does not scale as 1/N: %v vs %v", c4.Comm, c8.Comm)
+	}
+	if math.Abs(c4.Comp-2*c8.Comp) > 1e-9 {
+		t.Fatalf("2N_RT comp does not scale as 1/N: %v vs %v", c4.Comp, c8.Comp)
+	}
+}
+
+func TestNRTMessageFactors(t *testing.T) {
+	m := Params{Ts: 1, Tp: 0, To: 0}
+	// With only startups, N_RT cost is sum of floor(k/2)+1 for k=1..5:
+	// 1+2+2+3+3 = 11.
+	c := NRT(32, 3, apix512, m)
+	if math.Abs(c.Comm-11) > 1e-12 {
+		t.Fatalf("N_RT startup factors sum = %v, want 11", c.Comm)
+	}
+	// 2N_RT: sum of k = 15.
+	c2 := TwoNRT(32, 4, apix512, m)
+	if math.Abs(c2.Comm-15) > 1e-12 {
+		t.Fatalf("2N_RT startup factors sum = %v, want 15", c2.Comm)
+	}
+}
+
+// The paper's Equation (5) worked example: P=32, Ts=0.005, Tp=0.00004,
+// To=0.0002 on a 512x512 image gives a bound of about 4.3, hence N=4 for
+// the 2N_RT method.
+func TestOptimalNExamples(t *testing.T) {
+	m := PaperParams()
+	bound, n := OptimalN2NRT(32, apix512, m)
+	if bound < 4.0 || bound > 4.5 {
+		t.Fatalf("Eq (5) bound = %v, paper says about 4.3", bound)
+	}
+	if n != 4 {
+		t.Fatalf("Eq (5) N = %d, paper says 4", n)
+	}
+	// Equation (6) as printed gives ~5.4 (the paper states 3.4; see the
+	// OCR note in the doc comment). Pin the implemented behaviour.
+	bound6, n6 := OptimalNNRT(32, apix512, m)
+	if bound6 < 5.0 || bound6 > 6.0 {
+		t.Fatalf("Eq (6) bound = %v, expected ~5.4 as implemented", bound6)
+	}
+	if n6 != int(bound6) {
+		t.Fatalf("Eq (6) N = %d, want floor of %v", n6, bound6)
+	}
+}
+
+// The closed-form curve must be U-shaped in N and its minimiser must agree
+// with the Equation (5) bound to within one even step.
+func TestClosedFormUShape(t *testing.T) {
+	m := PaperParams()
+	p := 32
+	best := BestNByClosedForm(p, apix512, 32, true, m)
+	if best < 2 || best > 8 {
+		t.Fatalf("closed-form best even N = %d, expected small", best)
+	}
+	_, nEq := OptimalN2NRT(p, apix512, m)
+	if d := best - nEq; d < -2 || d > 2 {
+		t.Fatalf("closed-form minimiser %d far from Eq (5) choice %d", best, nEq)
+	}
+	// U-shape: endpoints worse than the minimum.
+	tBest := ClosedFormRT(p, best, apix512, m)
+	if ClosedFormRT(p, 1, apix512, m) <= tBest {
+		t.Fatal("no falling arm in closed form")
+	}
+	if ClosedFormRT(p, 32, apix512, m) <= tBest {
+		t.Fatal("no rising arm in closed form")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m := PaperParams()
+	for _, name := range []string{"bs", "pp", "2nrt", "nrt"} {
+		if _, err := ByName(name, 32, 4, apix512, m); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus", 32, 4, apix512, m); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestCostsPositiveAndMonotoneInA(t *testing.T) {
+	m := PaperParams()
+	for _, p := range []int{2, 8, 32} {
+		small := TwoNRT(p, 4, 1024, m).Total()
+		large := TwoNRT(p, 4, 4096, m).Total()
+		if small <= 0 || large <= small {
+			t.Fatalf("p=%d: costs not monotone in A: %v, %v", p, small, large)
+		}
+	}
+}
+
+func TestPredictFromCensusRanksMethods(t *testing.T) {
+	m := Params{Ts: 5e-4, Tp: 4e-8, To: 1.5e-7}
+	apix := 512 * 512
+	times := map[string]float64{}
+	bs, _ := schedule.BinarySwap(32)
+	pp, _ := schedule.Pipeline(32)
+	tree, _ := schedule.Tree(32)
+	rt, _ := schedule.RT(32, 4)
+	for name, s := range map[string]*schedule.Schedule{"bs": bs, "pp": pp, "tree": tree, "rt": rt} {
+		c, err := schedule.Validate(s, apix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[name] = PredictFromCensus(c, m)
+		if times[name] <= 0 {
+			t.Fatalf("%s: non-positive prediction", name)
+		}
+	}
+	if !(times["rt"] < times["bs"] && times["bs"] < times["pp"] && times["pp"] < times["tree"]) {
+		t.Fatalf("predictor ordering wrong: %v", times)
+	}
+}
+
+func TestAutoN(t *testing.T) {
+	m := Params{Ts: 5e-4, Tp: 4e-8, To: 1.5e-7}
+	n, err := AutoN(32, 512*512, m, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 || n > 16 {
+		t.Fatalf("AutoN = %d, want a moderate block count", n)
+	}
+	even, err := AutoN(32, 512*512, m, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even%2 != 0 {
+		t.Fatalf("even AutoN = %d", even)
+	}
+	// The auto pick must predict at least as fast as the naive N=1.
+	s1, _ := schedule.RT(32, 1)
+	c1, _ := schedule.Validate(s1, 512*512)
+	sn, _ := schedule.RT(32, n)
+	cn, _ := schedule.Validate(sn, 512*512)
+	if PredictFromCensus(cn, m) > PredictFromCensus(c1, m) {
+		t.Fatal("AutoN picked something worse than N=1")
+	}
+	if _, err := AutoN(0, 100, m, 4, false); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}

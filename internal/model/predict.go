@@ -1,0 +1,68 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rtcomp/internal/schedule"
+)
+
+// PredictFromCensus estimates the composition time of an *implemented*
+// schedule from its symbolic traffic census — the reconstruction's
+// counterpart to the paper's Table 1 formulas. Per step it takes the
+// busiest rank's traffic and charges
+//
+//	send side:    msgs*Ts + bytesSent*Tp
+//	receive side: first-arrival fill (Ts + avg message bytes * Tp)
+//	              plus the over work, overPixels*To
+//
+// and the step costs the larger of the two (network and compute engines
+// overlap); steps are summed. This deliberately ignores cross-step slack,
+// so it upper-bounds the free-running simulator but tracks its shape.
+func PredictFromCensus(c *schedule.Census, m Params) float64 {
+	total := 0.0
+	for _, rs := range c.MaxRankStep() {
+		send := float64(rs.MsgsSent)*m.Ts + float64(rs.BytesSent)*m.Tp
+		recv := float64(rs.OverPixels) * m.To
+		if rs.MsgsSent > 0 {
+			recv += m.Ts + float64(rs.BytesSent)/float64(rs.MsgsSent)*m.Tp
+		}
+		if send > recv {
+			total += send
+		} else {
+			total += recv
+		}
+	}
+	return total
+}
+
+// AutoN picks the initial block count for a rotate-tiling composition by
+// sweeping the generated schedules' censuses through PredictFromCensus —
+// the automated form of the paper's Section 2.3 tuning. Set even to
+// restrict to the 2N_RT domain (even N). maxN <= 0 sweeps up to 32.
+func AutoN(p, apix int, m Params, maxN int, even bool) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("model: AutoN needs p >= 1, got %d", p)
+	}
+	if maxN <= 0 {
+		maxN = 32
+	}
+	bestN, bestT := 0, math.Inf(1)
+	for n := 1; n <= maxN; n++ {
+		if even && n%2 != 0 {
+			continue
+		}
+		sch, err := schedule.RT(p, n)
+		if err != nil {
+			return 0, err
+		}
+		census, err := schedule.Validate(sch, apix)
+		if err != nil {
+			return 0, err
+		}
+		if t := PredictFromCensus(census, m); t < bestT {
+			bestN, bestT = n, t
+		}
+	}
+	return bestN, nil
+}

@@ -1,0 +1,33 @@
+package raster
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// EncodePGM serialises the image as a binary PGM (P5): each pixel's gray
+// value composited over a black background by its alpha.
+func (im *Image) EncodePGM() []byte {
+	out := make([]byte, 0, im.NPixels()+32)
+	out = append(out, []byte(fmt.Sprintf("P5\n%d %d\n255\n", im.W, im.H))...)
+	for i := 0; i < len(im.Pix); i += BytesPerPixel {
+		v := int(im.Pix[i]) * int(im.Pix[i+1]) / 255
+		out = append(out, uint8(v))
+	}
+	return out
+}
+
+// WritePNG writes the image as a gray+alpha PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v, a := im.At(x, y)
+			out.SetNRGBA(x, y, color.NRGBA{R: v, G: v, B: v, A: a})
+		}
+	}
+	return png.Encode(w, out)
+}

@@ -1,0 +1,111 @@
+package schedule
+
+import "fmt"
+
+// DirectSend builds the one-step baseline: the image is cut into P tiles,
+// tile j is owned by rank j, and every rank ships its copy of every foreign
+// tile straight to that tile's owner. P*(P-1) messages in a single step.
+// Send order is rotated (rank r first sends to r+1, then r+2, ...) so no
+// receiver is hit by all senders at once.
+func DirectSend(p int) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("schedule: DirectSend needs p >= 1, got %d", p)
+	}
+	st := Step{}
+	for off := 1; off < p; off++ {
+		for r := 0; r < p; r++ {
+			to := (r + off) % p
+			st.Transfers = append(st.Transfers, Transfer{From: r, To: to, Block: Block{Tile: to}})
+		}
+	}
+	sched := &Schedule{Name: "direct-send", P: p, Tiles: p}
+	if p > 1 {
+		sched.Steps = []Step{st}
+	}
+	return sched, nil
+}
+
+// BinarySwap builds the binary-swap schedule of Ma et al.: processors pair
+// up, exchange half of their current region and composite, for log2(P)
+// steps. P must be a power of two (the method's well-known restriction the
+// paper sets out to lift).
+func BinarySwap(p int) (*Schedule, error) {
+	if !IsPowerOfTwo(p) {
+		return nil, fmt.Errorf("schedule: BinarySwap needs a power-of-two processor count, got %d", p)
+	}
+	sched := &Schedule{Name: "binary-swap", P: p, Tiles: 1}
+	// idx[r] is the index of the block rank r holds at the current level.
+	idx := make([]int, p)
+	steps := CeilLog2(p)
+	for k := 1; k <= steps; k++ {
+		st := Step{PreHalvings: 1}
+		bit := 1 << uint(k-1)
+		for r := 0; r < p; r++ {
+			keep, send := idx[r]*2, idx[r]*2+1
+			if r&bit != 0 {
+				keep, send = send, keep
+			}
+			st.Transfers = append(st.Transfers, Transfer{
+				From:  r,
+				To:    r ^ bit,
+				Block: Block{Tile: 0, Level: k, Index: send},
+			})
+			idx[r] = keep
+		}
+		sched.Steps = append(sched.Steps, st)
+	}
+	return sched, nil
+}
+
+// Tree builds the naive binary-tree composition, the third classic
+// baseline: at step k, rank r with r mod 2^k == 2^(k-1) ships its whole
+// accumulated image to rank r - 2^(k-1) and goes idle. After ceil(log2 P)
+// steps rank 0 holds the final image. Full-image messages and half the
+// processors idling each step are exactly the weaknesses binary-swap and
+// rotate-tiling remove.
+func Tree(p int) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("schedule: Tree needs p >= 1, got %d", p)
+	}
+	sched := &Schedule{Name: "binary-tree", P: p, Tiles: 1}
+	for k := 1; k <= CeilLog2(p); k++ {
+		st := Step{}
+		half := 1 << uint(k-1)
+		for r := half; r < p; r += 2 * half {
+			st.Transfers = append(st.Transfers, Transfer{From: r, To: r - half, Block: Block{Tile: 0}})
+		}
+		sched.Steps = append(sched.Steps, st)
+	}
+	return sched, nil
+}
+
+// Pipeline builds Lee's parallel-pipelined schedule: the image is cut into
+// P tiles and the processors form a ring; at step k rank r forwards its
+// accumulated data for tile (r-k+1 mod P) to rank r+1 and receives the
+// accumulation for tile (r-k mod P). After P-1 steps rank r owns the fully
+// composited tile (r+1 mod P).
+//
+// With the non-commutative "over" operator the in-flight accumulation for a
+// tile can temporarily consist of two depth segments (the rank interval
+// wraps around the ring); messages then carry both fragments, and the
+// compositor merges them when the gap closes. The traffic census reports
+// the honest (fragment-weighted) byte counts.
+func Pipeline(p int) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("schedule: Pipeline needs p >= 1, got %d", p)
+	}
+	sched := &Schedule{Name: "parallel-pipelined", P: p, Tiles: p}
+	for k := 1; k <= p-1; k++ {
+		st := Step{}
+		for r := 0; r < p; r++ {
+			tile := ((r-k+1)%p + p) % p
+			st.Transfers = append(st.Transfers, Transfer{
+				From:  r,
+				To:    (r + 1) % p,
+				Block: Block{Tile: tile},
+			})
+		}
+		sched.Steps = append(sched.Steps, st)
+	}
+	return sched, nil
+}

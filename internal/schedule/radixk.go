@@ -1,0 +1,86 @@
+package schedule
+
+import "fmt"
+
+// RadixK builds the radix-k composition schedule (Peterka et al.), the
+// modern generalisation of binary-swap that this repository includes as an
+// extension baseline: the processor count is factored into rounds, and in
+// round i groups of factors[i] processors split their current region
+// factors[i] ways and exchange the pieces directly within the group.
+// Binary-swap is RadixK with all factors 2; a single round of factor P is
+// direct-send among power-of-two ranks.
+//
+// Because the block algebra of this package subdivides regions by halving,
+// every factor must be a power of two (hence P a power of two). Groups are
+// formed over contiguous rank intervals with stride factors[1]*...*
+// factors[i-1], which keeps every merge depth-contiguous, so the schedule
+// is correct for the non-commutative over operator (Validate proves it).
+func RadixK(p int, factors []int) (*Schedule, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("schedule: RadixK needs p >= 1, got %d", p)
+	}
+	prod := 1
+	for _, k := range factors {
+		if k < 2 || !IsPowerOfTwo(k) {
+			return nil, fmt.Errorf("schedule: RadixK factor %d is not a power of two >= 2", k)
+		}
+		prod *= k
+	}
+	if prod != p {
+		return nil, fmt.Errorf("schedule: RadixK factors %v multiply to %d, want %d", factors, prod, p)
+	}
+	sched := &Schedule{Name: fmt.Sprintf("radix-k%v", factors), P: p, Tiles: 1}
+
+	idx := make([]int, p) // block index at the current level per rank
+	stride := 1
+	level := 0
+	for _, k := range factors {
+		j := CeilLog2(k) // halvings this round
+		level += j
+		st := Step{PreHalvings: j}
+		for r := 0; r < p; r++ {
+			pos := (r / stride) % k // position within the round's group
+			base := r - pos*stride  // group's first rank
+			// After j halvings this rank's chunk is the k children
+			// idx*k .. idx*k+k-1 at the new level; position u keeps child
+			// u and receives it from every other member; this rank sends
+			// every other child to its keeper.
+			for u := 0; u < k; u++ {
+				if u == pos {
+					continue
+				}
+				st.Transfers = append(st.Transfers, Transfer{
+					From:  r,
+					To:    base + u*stride,
+					Block: Block{Tile: 0, Level: level, Index: idx[r]*k + u},
+				})
+			}
+		}
+		for r := 0; r < p; r++ {
+			pos := (r / stride) % k
+			idx[r] = idx[r]*k + pos
+		}
+		stride *= k
+		sched.Steps = append(sched.Steps, st)
+	}
+	return sched, nil
+}
+
+// DefaultFactors returns a balanced radix-k factorisation of a
+// power-of-two p: factors of 4 while possible, a final 2 if needed.
+func DefaultFactors(p int) ([]int, error) {
+	if !IsPowerOfTwo(p) || p < 2 {
+		return nil, fmt.Errorf("schedule: DefaultFactors needs a power of two >= 2, got %d", p)
+	}
+	var out []int
+	for p > 1 {
+		if p%4 == 0 {
+			out = append(out, 4)
+			p /= 4
+		} else {
+			out = append(out, 2)
+			p /= 2
+		}
+	}
+	return out, nil
+}

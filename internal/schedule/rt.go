@@ -1,0 +1,216 @@
+package schedule
+
+import "fmt"
+
+// Rotate-tiling schedule generation.
+//
+// The paper specifies RT operationally: each sub-image starts as N equal
+// blocks; there are ceil(log2 P) communication steps; in each step every
+// processor sends and receives whole blocks chosen by rotation formulas and
+// composites what it received; every surviving block is then halved, except
+// after the last step. The printed send/receive index equations are OCR-
+// corrupted in the available text (see DESIGN.md), so this implementation
+// regenerates an equivalent schedule from first principles:
+//
+//   - Ranks are depth-ordered, and "over" is associative but not
+//     commutative, so any correct schedule must only ever merge adjacent
+//     rank ranges. We therefore build, per tile, a binary merge tree over
+//     the ordered rank interval [0,P); the merge at tree height k happens at
+//     communication step k, giving exactly ceil(log2 P) steps for any P.
+//   - The split points of the per-tile trees alternate ("rotate") with the
+//     tile index and depth, and block keepers are chosen by a load-balanced
+//     rotation, so the extra work of uneven merges (P not a power of two)
+//     is spread over different processors for different tiles and every
+//     processor still holds part of the final image — the property the
+//     paper's Figure 1 example exhibits for P = 3.
+//   - At step k the blocks in flight are at halving level k-1, so each
+//     message carries exactly A/(N*2^(k-1)) pixels — the block size the
+//     paper's Table 1 assigns to both RT variants.
+//
+// The Validate function in this package proves, for every generated
+// schedule, that each final block is composited from all P ranks exactly
+// once and in depth order.
+
+// RTOpts disables individual design ingredients of the RT generator, for
+// the ablation experiments: NoRotate pins every tile to the same merge
+// tree and keeper parity; NoBalance picks block keepers by parity alone
+// instead of tracking per-rank load.
+type RTOpts struct {
+	NoRotate  bool
+	NoBalance bool
+}
+
+// RT builds a rotate-tiling schedule for p processors with n initial blocks
+// per sub-image. The paper requires p*n to be even and splits the domain
+// across the NRT and TwoNRT constructors; RT itself accepts any p >= 1 and
+// n >= 1 (the generative construction has no parity restriction) and is
+// exposed for experimentation.
+func RT(p, n int) (*Schedule, error) { return RTWithOpts(p, n, RTOpts{}) }
+
+// RTWithOpts is RT with ablation switches.
+func RTWithOpts(p, n int, opts RTOpts) (*Schedule, error) {
+	if p < 1 || n < 1 {
+		return nil, fmt.Errorf("schedule: RT needs p >= 1 and n >= 1, got p=%d n=%d", p, n)
+	}
+	sched := &Schedule{Name: fmt.Sprintf("rotate-tiling(N=%d)", n), P: p, Tiles: n}
+	if p == 1 {
+		return sched, nil
+	}
+	steps := CeilLog2(p)
+
+	// Per-tile merge trees: nodesAt[h] lists the rank intervals alive at
+	// height h; an interval of size 1 passes through merges untouched.
+	type ival struct{ lo, hi int }
+	children := make([]map[ival][2]ival, n) // per tile: parent -> (left, right)
+	for t := 0; t < n; t++ {
+		children[t] = map[ival][2]ival{}
+		var build func(nd ival, h int)
+		build = func(nd ival, h int) {
+			s := nd.hi - nd.lo
+			if h == 0 || s == 1 {
+				return
+			}
+			cap := 1 << uint(h-1)
+			rot := (t + h + nd.lo) & 1
+			if opts.NoRotate {
+				rot = 0
+			}
+			sl := (s + rot) / 2
+			if sl > cap {
+				sl = cap
+			}
+			if s-sl > cap {
+				sl = s - cap
+			}
+			l, r := ival{nd.lo, nd.lo + sl}, ival{nd.lo + sl, nd.hi}
+			children[t][nd] = [2]ival{l, r}
+			build(l, h-1)
+			build(r, h-1)
+		}
+		build(ival{0, p}, steps)
+	}
+
+	// nodes at height h for tile t, derived from the tree top-down.
+	nodesAt := func(t, h int) []ival {
+		nodes := []ival{{0, p}}
+		for cur := steps; cur > h; cur-- {
+			var next []ival
+			for _, nd := range nodes {
+				if ch, ok := children[t][nd]; ok && nd.hi-nd.lo > 1 {
+					// Only a real split counts; a size-1 node passes through.
+					next = append(next, ch[0], ch[1])
+				} else {
+					next = append(next, nd)
+				}
+			}
+			nodes = next
+		}
+		return nodes
+	}
+
+	// own[t] maps the current-level block index to its owner, per interval.
+	own := make([]map[ival]map[int]int, n)
+	for t := 0; t < n; t++ {
+		own[t] = map[ival]map[int]int{}
+		for r := 0; r < p; r++ {
+			own[t][ival{r, r + 1}] = map[int]int{0: r}
+		}
+	}
+	load := make([]int, p) // blocks currently owned, across tiles
+	for r := range load {
+		load[r] = n
+	}
+
+	for k := 1; k <= steps; k++ {
+		st := Step{}
+		if k < steps {
+			st.PostHalvings = 1
+		}
+		blocks := 1 << uint(k-1)
+		for t := 0; t < n; t++ {
+			for _, nd := range nodesAt(t, k) {
+				ch, ok := children[t][nd]
+				if !ok || nd.hi-nd.lo == 1 {
+					// Pass-through: remap the child's ownership (same
+					// interval) — nothing to do, the map key is unchanged.
+					continue
+				}
+				mL, okL := own[t][ch[0]]
+				mR, okR := own[t][ch[1]]
+				if !okL || !okR {
+					panic("schedule: RT internal error: missing child ownership")
+				}
+				merged := make(map[int]int, blocks)
+				for b := 0; b < blocks; b++ {
+					oL, oR := mL[b], mR[b]
+					keeper, loser := oL, oR
+					parityFlip := !opts.NoRotate && (b+t+k)&1 == 1
+					switch {
+					case !opts.NoBalance && load[oL] > load[oR]:
+						keeper, loser = oR, oL
+					case !opts.NoBalance && load[oL] < load[oR]:
+						// keep oL
+					case parityFlip:
+						keeper, loser = oR, oL
+					}
+					st.Transfers = append(st.Transfers, Transfer{
+						From:  loser,
+						To:    keeper,
+						Block: Block{Tile: t, Level: k - 1, Index: b},
+					})
+					load[loser]--
+					merged[b] = keeper
+				}
+				delete(own[t], ch[0])
+				delete(own[t], ch[1])
+				own[t][nd] = merged
+			}
+		}
+		if st.PostHalvings > 0 {
+			// Re-key ownership to the next level; loads double uniformly.
+			for t := 0; t < n; t++ {
+				for nd, m := range own[t] {
+					next := make(map[int]int, 2*len(m))
+					for b, r := range m {
+						next[2*b] = r
+						next[2*b+1] = r
+					}
+					own[t][nd] = next
+				}
+			}
+			for r := range load {
+				load[r] *= 2
+			}
+		}
+		sched.Steps = append(sched.Steps, st)
+	}
+	return sched, nil
+}
+
+// NRT builds the paper's N_RT variant: an even number of processors with an
+// arbitrary number of initial blocks.
+func NRT(p, n int) (*Schedule, error) {
+	if p%2 != 0 {
+		return nil, fmt.Errorf("schedule: N_RT needs an even number of processors, got %d", p)
+	}
+	s, err := RT(p, n)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = fmt.Sprintf("N_RT(N=%d)", n)
+	return s, nil
+}
+
+// TwoNRT builds the paper's 2N_RT variant: an arbitrary number of
+// processors with an even number of initial blocks.
+func TwoNRT(p, n int) (*Schedule, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("schedule: 2N_RT needs an even number of initial blocks, got %d", n)
+	}
+	s, err := RT(p, n)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = fmt.Sprintf("2N_RT(N=%d)", n)
+	return s, nil
+}

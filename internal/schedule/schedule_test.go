@@ -1,0 +1,591 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rtcomp/internal/raster"
+)
+
+const testPix = 4096
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5, 33: 6}
+	for p, want := range cases {
+		if got := CeilLog2(p); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 1024} {
+		if !IsPowerOfTwo(p) {
+			t.Errorf("IsPowerOfTwo(%d) = false", p)
+		}
+	}
+	for _, p := range []int{0, -2, 3, 6, 12, 100} {
+		if IsPowerOfTwo(p) {
+			t.Errorf("IsPowerOfTwo(%d) = true", p)
+		}
+	}
+}
+
+func TestBlockSpanPartition(t *testing.T) {
+	tiles := raster.SplitSpan(raster.Span{Lo: 0, Hi: 1001}, 3)
+	for level := 0; level <= 4; level++ {
+		at := 0
+		for tile := 0; tile < 3; tile++ {
+			for idx := 0; idx < 1<<uint(level); idx++ {
+				sp := (Block{Tile: tile, Level: level, Index: idx}).Span(tiles)
+				if sp.Lo != at {
+					t.Fatalf("level %d: block (%d,%d) starts at %d, want %d", level, tile, idx, sp.Lo, at)
+				}
+				at = sp.Hi
+			}
+		}
+		if at != 1001 {
+			t.Fatalf("level %d covers %d pixels, want 1001", level, at)
+		}
+	}
+}
+
+func TestBlockHalvesAreChildSpans(t *testing.T) {
+	tiles := raster.SplitSpan(raster.Span{Lo: 0, Hi: 777}, 4)
+	b := Block{Tile: 2, Level: 1, Index: 1}
+	c0, c1 := b.Halves()
+	sp := b.Span(tiles)
+	s0, s1 := c0.Span(tiles), c1.Span(tiles)
+	if s0.Lo != sp.Lo || s0.Hi != s1.Lo || s1.Hi != sp.Hi {
+		t.Fatalf("children %v,%v do not tile parent %v", s0, s1, sp)
+	}
+}
+
+func TestBinarySwapValidates(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		s, err := BinarySwap(p)
+		if err != nil {
+			t.Fatalf("BinarySwap(%d): %v", p, err)
+		}
+		if got, want := s.NumSteps(), CeilLog2(p); got != want {
+			t.Fatalf("BinarySwap(%d) has %d steps, want %d", p, got, want)
+		}
+		if _, err := Validate(s, testPix); err != nil {
+			t.Fatalf("BinarySwap(%d): %v", p, err)
+		}
+	}
+}
+
+func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
+	for _, p := range []int{3, 5, 6, 7, 12, 33} {
+		if _, err := BinarySwap(p); err == nil {
+			t.Fatalf("BinarySwap(%d) accepted", p)
+		}
+	}
+}
+
+func TestPipelineValidates(t *testing.T) {
+	for p := 1; p <= 17; p++ {
+		s, err := Pipeline(p)
+		if err != nil {
+			t.Fatalf("Pipeline(%d): %v", p, err)
+		}
+		if got := s.NumSteps(); got != p-1 && !(p == 1 && got == 0) {
+			t.Fatalf("Pipeline(%d) has %d steps, want %d", p, got, p-1)
+		}
+		if _, err := Validate(s, testPix); err != nil {
+			t.Fatalf("Pipeline(%d): %v", p, err)
+		}
+	}
+}
+
+func TestDirectSendValidates(t *testing.T) {
+	for p := 1; p <= 17; p++ {
+		s, err := DirectSend(p)
+		if err != nil {
+			t.Fatalf("DirectSend(%d): %v", p, err)
+		}
+		c, err := Validate(s, testPix)
+		if err != nil {
+			t.Fatalf("DirectSend(%d): %v", p, err)
+		}
+		if got, want := c.TotalMessages(), p*(p-1); got != want {
+			t.Fatalf("DirectSend(%d): %d messages, want %d", p, got, want)
+		}
+	}
+}
+
+// The central property: every rotate-tiling schedule is a correct
+// composition for a wide sweep of processor and block counts.
+func TestRTValidatesAcrossDomain(t *testing.T) {
+	for p := 1; p <= 24; p++ {
+		for n := 1; n <= 8; n++ {
+			s, err := RT(p, n)
+			if err != nil {
+				t.Fatalf("RT(%d,%d): %v", p, n, err)
+			}
+			if got, want := s.NumSteps(), CeilLog2(p); got != want {
+				t.Fatalf("RT(%d,%d) has %d steps, want ceil(log2 P) = %d", p, n, got, want)
+			}
+			if _, err := Validate(s, testPix); err != nil {
+				t.Fatalf("RT(%d,%d): %v", p, n, err)
+			}
+		}
+	}
+}
+
+func TestRTLargeP(t *testing.T) {
+	for _, pn := range [][2]int{{32, 3}, {32, 4}, {31, 4}, {33, 2}, {64, 6}, {100, 4}} {
+		s, err := RT(pn[0], pn[1])
+		if err != nil {
+			t.Fatalf("RT(%v): %v", pn, err)
+		}
+		if _, err := Validate(s, 512*512); err != nil {
+			t.Fatalf("RT(%v): %v", pn, err)
+		}
+	}
+}
+
+// At step k every RT message carries a block of halving level k-1, i.e.
+// A/(N*2^(k-1)) pixels — the paper's Table 1 block size.
+func TestRTBlockSizesMatchTable1(t *testing.T) {
+	s, err := RT(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, step := range s.Steps {
+		for _, tr := range step.Transfers {
+			if tr.Block.Level != si {
+				t.Fatalf("step %d transfer has block level %d, want %d", si+1, tr.Block.Level, si)
+			}
+		}
+	}
+}
+
+// Every processor must end up holding part of the final image whenever
+// there are at least P final blocks — the "fully utilize all available
+// processors" property (the paper's Figure 1 ends with final blocks on all
+// three processors for P=3, N=4).
+func TestRTAllProcessorsHoldFinalBlocks(t *testing.T) {
+	for _, pn := range [][2]int{{3, 4}, {4, 3}, {5, 2}, {7, 4}, {32, 3}, {32, 4}, {12, 2}} {
+		p, n := pn[0], pn[1]
+		s, err := RT(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Validate(s, 512*512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finalBlocks := n << uint(maxInt(CeilLog2(p)-1, 0))
+		if finalBlocks < p {
+			continue
+		}
+		owners := map[int]int{}
+		for _, h := range c.Final {
+			owners[h.Rank]++
+		}
+		if len(owners) != p {
+			t.Fatalf("RT(%d,%d): only %d of %d ranks hold final blocks", p, n, len(owners), p)
+		}
+		// Balance: no rank holds more than twice the fair share (+1).
+		fair := (finalBlocks + p - 1) / p
+		for r, cnt := range owners {
+			if cnt > 2*fair+1 {
+				t.Fatalf("RT(%d,%d): rank %d holds %d final blocks, fair share %d", p, n, r, cnt, fair)
+			}
+		}
+	}
+}
+
+func TestRTFinalBlockCountMatchesPaper(t *testing.T) {
+	// Figure 1: P=3, N=4 -> two steps, 8 final blocks.
+	s, err := RT(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Validate(s, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 2 {
+		t.Fatalf("RT(3,4) steps = %d, want 2", len(s.Steps))
+	}
+	if len(c.Final) != 8 {
+		t.Fatalf("RT(3,4) final blocks = %d, want 8", len(c.Final))
+	}
+	// Figure 2: P=4, N=3 -> two steps, 6 final blocks.
+	s, err = RT(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = Validate(s, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Steps) != 2 || len(c.Final) != 6 {
+		t.Fatalf("RT(4,3): steps=%d final=%d, want 2 and 6", len(s.Steps), len(c.Final))
+	}
+}
+
+func TestNRTDomain(t *testing.T) {
+	if _, err := NRT(3, 4); err == nil {
+		t.Fatal("N_RT must reject odd P")
+	}
+	if _, err := NRT(4, 3); err != nil {
+		t.Fatalf("N_RT(4,3): %v", err)
+	}
+	if _, err := TwoNRT(3, 3); err == nil {
+		t.Fatal("2N_RT must reject odd N")
+	}
+	if _, err := TwoNRT(3, 4); err != nil {
+		t.Fatalf("2N_RT(3,4): %v", err)
+	}
+}
+
+func TestBinarySwapCensusBytes(t *testing.T) {
+	p := 8
+	s, _ := BinarySwap(p)
+	c, err := Validate(s, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank sends A/2 + A/4 + A/8 pixels = A*(1-1/P); two bytes per pixel.
+	want := int64(p) * int64(float64(testPix)*(1-1.0/float64(p))) * raster.BytesPerPixel
+	got := c.TotalBytes()
+	if got < want-64 || got > want+64 {
+		t.Fatalf("BS census bytes = %d, want ~%d", got, want)
+	}
+	if got := c.TotalMessages(); got != p*CeilLog2(p) {
+		t.Fatalf("BS census messages = %d, want %d", got, p*CeilLog2(p))
+	}
+}
+
+// The pipeline's dual-fragment wrap costs at most 2x the nominal tile
+// traffic; its census must sit between the nominal and the doubled volume.
+func TestPipelineCensusBounds(t *testing.T) {
+	p := 6
+	s, _ := Pipeline(p)
+	c, err := Validate(s, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := int64(p*(p-1)) * int64(testPix/p) * raster.BytesPerPixel
+	got := c.TotalBytes()
+	if got < nominal || got > 2*nominal {
+		t.Fatalf("PP census bytes = %d, want within [%d, %d]", got, nominal, 2*nominal)
+	}
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	// A transfer of a block the sender does not hold.
+	bad := &Schedule{Name: "bad", P: 2, Tiles: 1, Steps: []Step{{
+		Transfers: []Transfer{{From: 0, To: 1, Block: Block{Tile: 0, Level: 3, Index: 2}}},
+	}}}
+	if _, err := Validate(bad, testPix); err == nil {
+		t.Fatal("unheld block accepted")
+	}
+	// A schedule that never composites anything.
+	idle := &Schedule{Name: "idle", P: 2, Tiles: 1}
+	if _, err := Validate(idle, testPix); err == nil {
+		t.Fatal("incomplete composition accepted")
+	}
+	// Self transfer.
+	self := &Schedule{Name: "self", P: 2, Tiles: 1, Steps: []Step{{
+		Transfers: []Transfer{{From: 0, To: 0, Block: Block{}}},
+	}}}
+	if _, err := Validate(self, testPix); err == nil {
+		t.Fatal("self transfer accepted")
+	}
+	// Double composition: both ranks send their copy to each other.
+	// Rank 1's copy then reaches rank 0 twice via a relay.
+	dup := &Schedule{Name: "dup", P: 3, Tiles: 1, Steps: []Step{
+		{Transfers: []Transfer{
+			{From: 1, To: 0, Block: Block{}},
+			{From: 2, To: 0, Block: Block{}},
+		}},
+	}}
+	if _, err := Validate(dup, testPix); err != nil {
+		t.Fatalf("legal direct merge rejected: %v", err)
+	}
+	overlap := &Schedule{Name: "overlap", P: 2, Tiles: 2, Steps: []Step{
+		{Transfers: []Transfer{
+			{From: 1, To: 0, Block: Block{Tile: 0}},
+			{From: 1, To: 0, Block: Block{Tile: 1}},
+		}},
+		{Transfers: []Transfer{
+			// Rank 1 no longer holds tile 0: must be rejected.
+			{From: 1, To: 0, Block: Block{Tile: 0}},
+		}},
+	}}
+	if _, err := Validate(overlap, testPix); err == nil {
+		t.Fatal("resent block accepted")
+	}
+}
+
+func TestRTSingleProcessor(t *testing.T) {
+	s, err := RT(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 0 {
+		t.Fatalf("RT(1,4) has %d steps, want 0", s.NumSteps())
+	}
+	if _, err := Validate(s, testPix); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRTRejectsBadArgs(t *testing.T) {
+	if _, err := RT(0, 1); err == nil {
+		t.Fatal("RT(0,1) accepted")
+	}
+	if _, err := RT(4, 0); err == nil {
+		t.Fatal("RT(4,0) accepted")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTreeValidates(t *testing.T) {
+	for p := 1; p <= 17; p++ {
+		s, err := Tree(p)
+		if err != nil {
+			t.Fatalf("Tree(%d): %v", p, err)
+		}
+		c, err := Validate(s, testPix)
+		if err != nil {
+			t.Fatalf("Tree(%d): %v", p, err)
+		}
+		// Rank 0 holds everything.
+		if len(c.Final) != 1 || c.Final[0].Rank != 0 {
+			t.Fatalf("Tree(%d): final distribution %v", p, c.Final)
+		}
+		if got, want := s.NumSteps(), CeilLog2(p); got != want {
+			t.Fatalf("Tree(%d): %d steps, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTreeMovesFullImages(t *testing.T) {
+	p := 8
+	s, _ := Tree(p)
+	c, err := Validate(s, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1 moves P/2 full images; total messages P-1.
+	if got := c.TotalMessages(); got != p-1 {
+		t.Fatalf("Tree messages = %d, want %d", got, p-1)
+	}
+	want := int64((p - 1) * testPix * raster.BytesPerPixel)
+	if got := c.TotalBytes(); got != want {
+		t.Fatalf("Tree bytes = %d, want %d (full images every hop)", got, want)
+	}
+}
+
+func TestRTWithOptsAllCombosValidate(t *testing.T) {
+	for _, opts := range []RTOpts{
+		{}, {NoRotate: true}, {NoBalance: true}, {NoRotate: true, NoBalance: true},
+	} {
+		for _, pn := range [][2]int{{3, 4}, {7, 3}, {16, 4}, {13, 5}} {
+			s, err := RTWithOpts(pn[0], pn[1], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Validate(s, testPix); err != nil {
+				t.Fatalf("RTWithOpts(%v, %+v): %v", pn, opts, err)
+			}
+		}
+	}
+}
+
+func TestRadixKValidates(t *testing.T) {
+	cases := [][2]interface{}{
+		{2, []int{2}},
+		{4, []int{4}},
+		{4, []int{2, 2}},
+		{8, []int{2, 4}},
+		{8, []int{4, 2}},
+		{8, []int{8}},
+		{16, []int{4, 4}},
+		{32, []int{4, 4, 2}},
+		{32, []int{2, 2, 2, 2, 2}}, // degenerates to binary-swap structure
+		{64, []int{8, 8}},
+	}
+	for _, c := range cases {
+		p, factors := c[0].(int), c[1].([]int)
+		s, err := RadixK(p, factors)
+		if err != nil {
+			t.Fatalf("RadixK(%d,%v): %v", p, factors, err)
+		}
+		if got, want := s.NumSteps(), len(factors); got != want {
+			t.Fatalf("RadixK(%d,%v): %d rounds, want %d", p, factors, got, want)
+		}
+		if _, err := Validate(s, testPix); err != nil {
+			t.Fatalf("RadixK(%d,%v): %v", p, factors, err)
+		}
+	}
+}
+
+func TestRadixKAllTwosMatchesBinarySwapTraffic(t *testing.T) {
+	p := 16
+	bs, _ := BinarySwap(p)
+	rk, err := RadixK(p, []int{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Validate(bs, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := Validate(rk, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.TotalMessages() != cr.TotalMessages() || cb.TotalBytes() != cr.TotalBytes() {
+		t.Fatalf("radix-2 traffic (%d msgs, %d B) differs from binary-swap (%d msgs, %d B)",
+			cr.TotalMessages(), cr.TotalBytes(), cb.TotalMessages(), cb.TotalBytes())
+	}
+}
+
+func TestRadixKFewerStepsMoreMessages(t *testing.T) {
+	// Radix 8x8 on 64 ranks: 2 rounds instead of 6 but 7 messages per rank
+	// per round — the classic startup/volume trade.
+	p := 64
+	rk, err := RadixK(p, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Validate(rk, testPix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.TotalMessages(), p*7*2; got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+}
+
+func TestRadixKRejectsBadFactors(t *testing.T) {
+	if _, err := RadixK(6, []int{2, 3}); err == nil {
+		t.Fatal("factor 3 accepted")
+	}
+	if _, err := RadixK(8, []int{2, 2}); err == nil {
+		t.Fatal("wrong product accepted")
+	}
+	if _, err := RadixK(0, nil); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestDefaultFactors(t *testing.T) {
+	cases := map[int][]int{2: {2}, 4: {4}, 8: {4, 2}, 16: {4, 4}, 32: {4, 4, 2}}
+	for p, want := range cases {
+		got, err := DefaultFactors(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("DefaultFactors(%d) = %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("DefaultFactors(%d) = %v, want %v", p, got, want)
+			}
+		}
+	}
+	if _, err := DefaultFactors(12); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+}
+
+// Adversarial meta-test: mutate valid schedules in ways that break the
+// composition invariant and assert the validator rejects every mutant.
+// This is what makes "Validate passed" meaningful evidence.
+func TestValidatorKillsMutants(t *testing.T) {
+	build := func() *Schedule {
+		s, err := RT(6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	clone := func(s *Schedule) *Schedule {
+		out := &Schedule{Name: s.Name, P: s.P, Tiles: s.Tiles, Steps: make([]Step, len(s.Steps))}
+		for i, st := range s.Steps {
+			out.Steps[i] = Step{PreHalvings: st.PreHalvings, PostHalvings: st.PostHalvings,
+				Transfers: append([]Transfer(nil), st.Transfers...)}
+		}
+		return out
+	}
+	if _, err := Validate(build(), testPix); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+
+	mutants := map[string]func(*Schedule){
+		"drop a transfer": func(s *Schedule) {
+			st := &s.Steps[1]
+			st.Transfers = st.Transfers[1:]
+		},
+		"duplicate a transfer": func(s *Schedule) {
+			st := &s.Steps[0]
+			st.Transfers = append(st.Transfers, st.Transfers[0])
+		},
+		"reroute a receiver": func(s *Schedule) {
+			tr := &s.Steps[1].Transfers[0]
+			tr.To = (tr.To + 1) % s.P
+			if tr.To == tr.From {
+				tr.To = (tr.To + 1) % s.P
+			}
+		},
+		"wrong block level": func(s *Schedule) {
+			s.Steps[1].Transfers[0].Block.Level++
+		},
+		"extra halving": func(s *Schedule) {
+			s.Steps[0].PostHalvings++
+		},
+		"missing halving": func(s *Schedule) {
+			s.Steps[0].PostHalvings = 0
+		},
+		"swapped sender": func(s *Schedule) {
+			tr := &s.Steps[0].Transfers[0]
+			tr.From, tr.To = tr.To, tr.From
+		},
+	}
+	for name, mutate := range mutants {
+		m := clone(build())
+		mutate(m)
+		if _, err := Validate(m, testPix); err == nil {
+			t.Errorf("mutant %q passed validation", name)
+		}
+	}
+}
+
+func TestToDOT(t *testing.T) {
+	s, err := RT(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := s.ToDOT()
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatalf("malformed DOT:\n%s", dot)
+	}
+	transfers := 0
+	for _, st := range s.Steps {
+		transfers += len(st.Transfers)
+	}
+	if got := strings.Count(dot, "->"); got != transfers {
+		t.Fatalf("DOT has %d edges, schedule has %d transfers", got, transfers)
+	}
+	for si := range s.Steps {
+		if !strings.Contains(dot, fmt.Sprintf("cluster_step%d", si+1)) {
+			t.Fatalf("step %d subgraph missing", si+1)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package shearwarp
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"rtcomp/internal/volume"
+	"rtcomp/internal/xfer"
+)
+
+// Golden render hashes pin the exact pixel output of the full shear-warp
+// pipeline (factor -> composite -> warp) for each phantom at a fixed view.
+// They catch accidental behaviour changes in the renderer, the phantoms or
+// the transfer presets; if a change is intentional, regenerate with the
+// snippet in the failure message.
+var goldenRenders = map[string]uint64{
+	"engine": 0x81e2eca1a78d4747,
+	"head":   0xfca42a5345a383c8,
+	"brain":  0xbff0c51810ff4bda,
+}
+
+func TestGoldenRenderHashes(t *testing.T) {
+	for _, name := range volume.Datasets {
+		r := &Renderer{Vol: volume.ByName(name, 64), TF: xfer.ForDataset(name)}
+		img, err := r.Render(Camera{Yaw: 0.35, Pitch: 0.2}, 128, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		h.Write(img.Pix)
+		got := h.Sum64()
+		if got != goldenRenders[name] {
+			t.Errorf("%s render hash = %#016x, golden %#016x — if the change is intentional, "+
+				"re-run this test body to regenerate the constants", name, got, goldenRenders[name])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package shearwarp
+
+import (
+	"math"
+
+	"rtcomp/internal/raster"
+	"rtcomp/internal/volume"
+	"rtcomp/internal/xfer"
+)
+
+// RayCast renders the volume with a straightforward orthographic ray
+// marcher: one ray per pixel along the camera's view direction, trilinear
+// sampling at half-voxel steps, post-classification and front-to-back over
+// compositing. It is algorithmically independent of the shear-warp path and
+// serves as its correctness cross-check.
+func RayCast(vol *volume.Volume, tf *xfer.Func, cam Camera, w, h int) *raster.Image {
+	rot := cam.rotation()
+	// Rays travel along the third eye axis; pixel (x, y) maps to eye
+	// coordinates (x - w/2, y - h/2).
+	cx := float64(vol.NX-1) / 2
+	cy := float64(vol.NY-1) / 2
+	cz := float64(vol.NZ-1) / 2
+	diag := math.Sqrt(float64(vol.NX*vol.NX + vol.NY*vol.NY + vol.NZ*vol.NZ))
+	out := raster.New(w, h)
+	const step = 0.5
+	for y := 0; y < h; y++ {
+		ey := float64(y) - float64(h)/2
+		for x := 0; x < w; x++ {
+			ex := float64(x) - float64(w)/2
+			var accV, accA float64
+			for t := -diag / 2; t <= diag/2; t += step {
+				// Object point with eye coords (ex, ey, t): p = R^T e + c.
+				px := rot[0][0]*ex + rot[1][0]*ey + rot[2][0]*t + cx
+				py := rot[0][1]*ex + rot[1][1]*ey + rot[2][1]*t + cy
+				pz := rot[0][2]*ex + rot[1][2]*ey + rot[2][2]*t + cz
+				s, ok := trilinear(vol, px, py, pz)
+				if !ok {
+					continue
+				}
+				val, a := tf.Classify(s)
+				if a == 0 {
+					continue
+				}
+				// Scale opacity for the finer step so total extinction
+				// roughly matches the per-slice compositing of shear-warp
+				// (one sample per voxel length).
+				af := 1 - math.Pow(1-float64(a)/255, step)
+				accV += (1 - accA) * af * float64(val)
+				accA += (1 - accA) * af
+				if accA >= 254.5/255 {
+					break
+				}
+			}
+			if accA > 0 {
+				v := accV / accA
+				out.Set(x, y, uint8(v+0.5), uint8(accA*255+0.5))
+			}
+		}
+	}
+	return out
+}
+
+// trilinear samples the volume at a fractional position.
+func trilinear(vol *volume.Volume, x, y, z float64) (uint8, bool) {
+	if x <= -1 || y <= -1 || z <= -1 ||
+		x >= float64(vol.NX) || y >= float64(vol.NY) || z >= float64(vol.NZ) {
+		return 0, false
+	}
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(x0), y-float64(y0), z-float64(z0)
+	var acc, wsum float64
+	for dz := 0; dz <= 1; dz++ {
+		for dy := 0; dy <= 1; dy++ {
+			for dx := 0; dx <= 1; dx++ {
+				xx, yy, zz := x0+dx, y0+dy, z0+dz
+				if xx < 0 || yy < 0 || zz < 0 || xx >= vol.NX || yy >= vol.NY || zz >= vol.NZ {
+					continue
+				}
+				w := (1 - math.Abs(float64(dx)-fx)) *
+					(1 - math.Abs(float64(dy)-fy)) *
+					(1 - math.Abs(float64(dz)-fz))
+				acc += w * float64(vol.At(xx, yy, zz))
+				wsum += w
+			}
+		}
+	}
+	if wsum == 0 {
+		return 0, false
+	}
+	return uint8(acc/wsum + 0.5), true
+}

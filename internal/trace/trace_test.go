@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/simnet"
+)
+
+func simulateRT(t *testing.T, p, n int) *simnet.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	layers := make([]*raster.Image, p)
+	for r := range layers {
+		layers[r] = raster.RandomBinaryImage(rng, 128, 64, 0.5)
+	}
+	sched, err := schedule.RT(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simnet.Simulate(sched, layers, nil, simnet.SP2Calibrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGanttShape(t *testing.T) {
+	res := simulateRT(t, 4, 4)
+	if len(res.Events) == 0 {
+		t.Fatal("simulator recorded no events")
+	}
+	chart := Gantt(res.Events, 4, 60, res.Time)
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	if len(lines) != 5 { // header + one row per rank
+		t.Fatalf("chart has %d lines, want 5:\n%s", len(lines), chart)
+	}
+	for r := 1; r < len(lines); r++ {
+		if !strings.HasPrefix(lines[r], "P") {
+			t.Fatalf("row %d missing rank label: %q", r, lines[r])
+		}
+		if len(lines[r]) != len("P0   ")+60 {
+			t.Fatalf("row %d has width %d", r, len(lines[r]))
+		}
+	}
+	// Something must be busy.
+	if !strings.ContainsAny(chart, "-#%") {
+		t.Fatalf("chart shows no activity:\n%s", chart)
+	}
+}
+
+func TestEventsWithinHorizon(t *testing.T) {
+	res := simulateRT(t, 6, 3)
+	for _, e := range res.Events {
+		if e.T0 < 0 || e.T1 < e.T0 {
+			t.Fatalf("malformed event %+v", e)
+		}
+		if e.T1 > res.Time+1e-12 {
+			t.Fatalf("event %+v ends after composition time %v", e, res.Time)
+		}
+	}
+}
+
+func TestUtilisationBounds(t *testing.T) {
+	res := simulateRT(t, 8, 4)
+	u := Utilisation(res.Events, 8, res.Time)
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilisation = %v, want (0,1]", u)
+	}
+}
+
+// Fine-grained RT must keep the machine busier than the binary tree, whose
+// idle halves are its defining weakness.
+func TestRTUtilisationBeatsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	p := 8
+	layers := make([]*raster.Image, p)
+	for r := range layers {
+		layers[r] = raster.RandomBinaryImage(rng, 256, 128, 0.5)
+	}
+	params := simnet.SP2Calibrated()
+	rtSched, err := schedule.RT(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := simnet.Simulate(rtSched, layers, nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeSched, err := schedule.Tree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := simnet.Simulate(treeSched, layers, nil, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uRT := Utilisation(rt.Events, p, rt.Time)
+	uTree := Utilisation(tree.Events, p, tree.Time)
+	if uRT <= uTree {
+		t.Fatalf("RT utilisation %.2f not above tree %.2f", uRT, uTree)
+	}
+}
+
+func TestUtilisationEmpty(t *testing.T) {
+	if u := Utilisation(nil, 4, 0); u != 0 {
+		t.Fatalf("empty utilisation = %v", u)
+	}
+}
+
+func TestGanttZeroHorizonAutoScales(t *testing.T) {
+	res := simulateRT(t, 2, 2)
+	chart := Gantt(res.Events, 2, 40, 0)
+	if !strings.ContainsAny(chart, "-#%") {
+		t.Fatal("auto-scaled chart shows no activity")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	res := simulateRT(t, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, res.Events); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(events) != len(res.Events) {
+		t.Fatalf("exported %d events, want %d", len(events), len(res.Events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Fatalf("event phase %v", e["ph"])
+		}
+		if e["dur"].(float64) < 0 {
+			t.Fatal("negative duration")
+		}
+		pid := int(e["pid"].(float64))
+		if pid < 0 || pid >= 3 {
+			t.Fatalf("pid %d out of range", pid)
+		}
+	}
+}

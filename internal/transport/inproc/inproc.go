@@ -1,0 +1,131 @@
+// Package inproc implements the comm.Comm fabric inside a single process:
+// every rank is a goroutine and messages travel through shared mailboxes.
+// It is the fabric used by the wall-clock benchmarks and by every test that
+// runs a composition in parallel.
+package inproc
+
+import (
+	"errors"
+	"sync"
+
+	"rtcomp/internal/comm"
+	"rtcomp/internal/transport/mbox"
+)
+
+// Fabric is a P-way in-process communicator. Create one with New and hand
+// each rank's goroutine its endpoint from Endpoint.
+type Fabric struct {
+	size  int
+	boxes []*mbox.Mailbox
+}
+
+// New creates a fabric with p ranks.
+func New(p int) *Fabric {
+	if p < 1 {
+		panic("inproc: fabric needs p >= 1")
+	}
+	f := &Fabric{size: p, boxes: make([]*mbox.Mailbox, p)}
+	for i := range f.boxes {
+		f.boxes[i] = mbox.New()
+	}
+	return f
+}
+
+// Endpoint returns rank r's communicator endpoint.
+func (f *Fabric) Endpoint(r int) comm.Comm {
+	if r < 0 || r >= f.size {
+		panic("inproc: rank out of range")
+	}
+	return &endpoint{fabric: f, rank: r}
+}
+
+type endpoint struct {
+	fabric   *Fabric
+	rank     int
+	counters comm.Counters
+}
+
+var _ comm.Comm = (*endpoint)(nil)
+
+// Rank implements comm.Comm.
+func (e *endpoint) Rank() int { return e.rank }
+
+// Size implements comm.Comm.
+func (e *endpoint) Size() int { return e.fabric.size }
+
+// Send implements comm.Comm.
+func (e *endpoint) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= e.fabric.size {
+		return errors.New("inproc: destination rank out of range")
+	}
+	// Copy so the sender may reuse its buffer, as with a real network.
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf}); err != nil {
+		return err
+	}
+	e.counters.MsgsSent++
+	e.counters.BytesSent += int64(len(payload))
+	return nil
+}
+
+// Recv implements comm.Comm.
+func (e *endpoint) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= e.fabric.size {
+		return nil, errors.New("inproc: source rank out of range")
+	}
+	payload, err := e.fabric.boxes[e.rank].Get(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	e.counters.MsgsRecv++
+	e.counters.BytesRecv += int64(len(payload))
+	return payload, nil
+}
+
+// RecvAny implements comm.Comm.
+func (e *endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	mk := make([]mbox.Key, len(keys))
+	for i, k := range keys {
+		if k.From < 0 || k.From >= e.fabric.size {
+			return 0, 0, nil, errors.New("inproc: source rank out of range")
+		}
+		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
+	}
+	msg, err := e.fabric.boxes[e.rank].GetAny(mk)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	e.counters.MsgsRecv++
+	e.counters.BytesRecv += int64(len(msg.Payload))
+	return msg.From, msg.Tag, msg.Payload, nil
+}
+
+// Counters implements comm.Comm.
+func (e *endpoint) Counters() comm.Counters { return e.counters }
+
+// Close implements comm.Comm.
+func (e *endpoint) Close() error {
+	e.fabric.boxes[e.rank].Close(nil)
+	return nil
+}
+
+// Run spawns fn for every rank on its own goroutine and waits for all of
+// them, returning the combined error. It is the standard way to execute a
+// parallel section on the in-process fabric.
+func Run(p int, fn func(c comm.Comm) error) error {
+	f := New(p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := f.Endpoint(r)
+			defer ep.Close()
+			errs[r] = fn(ep)
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,240 @@
+package inproc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rtcomp/internal/comm"
+)
+
+func TestPingPong(t *testing.T) {
+	err := Run(2, func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 5, []byte("ping")); err != nil {
+				return err
+			}
+			got, err := c.Recv(1, 6)
+			if err != nil {
+				return err
+			}
+			if string(got) != "pong" {
+				return fmt.Errorf("got %q", got)
+			}
+			return nil
+		}
+		got, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(got) != "ping" {
+			return fmt.Errorf("got %q", got)
+		}
+		return c.Send(0, 6, []byte("pong"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	f := New(2)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	buf := []byte{1, 2, 3}
+	if err := a.Send(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate after send
+	got, err := b.Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("payload aliased sender buffer: %v", got)
+	}
+}
+
+func TestBarrierAllRanks(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		phase := make([]int, p)
+		err := Run(p, func(c comm.Comm) error {
+			var seq comm.Sequencer
+			for round := 0; round < 3; round++ {
+				phase[c.Rank()] = round
+				if err := comm.Barrier(c, &seq); err != nil {
+					return err
+				}
+				// After the barrier, every rank must have entered `round`.
+				for r := 0; r < p; r++ {
+					if phase[r] < round {
+						return fmt.Errorf("rank %d saw rank %d lagging at round %d", c.Rank(), r, round)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	p := 7
+	err := Run(p, func(c comm.Comm) error {
+		var seq comm.Sequencer
+		payload := []byte{byte(c.Rank() * 3)}
+		got, err := comm.Gather(c, &seq, 2, payload)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if got != nil {
+				return fmt.Errorf("non-root received gather output")
+			}
+			return nil
+		}
+		for r := 0; r < p; r++ {
+			if len(got[r]) != 1 || got[r][0] != byte(r*3) {
+				return fmt.Errorf("slot %d = %v", r, got[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	p := 5
+	err := Run(p, func(c comm.Comm) error {
+		var seq comm.Sequencer
+		var payload []byte
+		if c.Rank() == 1 {
+			payload = []byte("hello")
+		}
+		got, err := comm.Bcast(c, &seq, 1, payload)
+		if err != nil {
+			return err
+		}
+		if string(got) != "hello" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveCollectivesDoNotCollide(t *testing.T) {
+	err := Run(4, func(c comm.Comm) error {
+		var seq comm.Sequencer
+		for i := 0; i < 10; i++ {
+			if err := comm.Barrier(c, &seq); err != nil {
+				return err
+			}
+			if _, err := comm.Gather(c, &seq, i%4, []byte{byte(i)}); err != nil {
+				return err
+			}
+			if _, err := comm.Bcast(c, &seq, (i+1)%4, []byte{byte(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	f := New(2)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	a.Send(1, 0, make([]byte, 100))
+	a.Send(1, 1, make([]byte, 50))
+	b.Recv(0, 0)
+	ca, cb := a.Counters(), b.Counters()
+	if ca.MsgsSent != 2 || ca.BytesSent != 150 {
+		t.Fatalf("sender counters %+v", ca)
+	}
+	if cb.MsgsRecv != 1 || cb.BytesRecv != 100 {
+		t.Fatalf("receiver counters %+v", cb)
+	}
+}
+
+func TestOutOfRangeRanks(t *testing.T) {
+	f := New(2)
+	a := f.Endpoint(0)
+	if err := a.Send(5, 0, nil); err == nil {
+		t.Fatal("Send to rank 5 accepted")
+	}
+	if _, err := a.Recv(-1, 0); err == nil {
+		t.Fatal("Recv from rank -1 accepted")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	err := Run(3, func(c comm.Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run swallowed the error")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for _, root := range []int{0, p - 1} {
+			err := Run(p, func(c comm.Comm) error {
+				var seq comm.Sequencer
+				vals := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+				got, err := comm.ReduceSum(c, &seq, root, vals)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root received reduce output")
+					}
+					return nil
+				}
+				var wantSum, wantSq int64
+				for r := 0; r < p; r++ {
+					wantSum += int64(r)
+					wantSq += int64(r * r)
+				}
+				if got[0] != wantSum || got[1] != int64(p) || got[2] != wantSq {
+					return fmt.Errorf("reduce = %v, want [%d %d %d]", got, wantSum, p, wantSq)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSumRepeated(t *testing.T) {
+	err := Run(4, func(c comm.Comm) error {
+		var seq comm.Sequencer
+		for i := 0; i < 5; i++ {
+			got, err := comm.ReduceSum(c, &seq, 0, []int64{1})
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && got[0] != 4 {
+				return fmt.Errorf("round %d: sum %d", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package mbox provides the tag-matching mailbox shared by the transport
+// fabrics: an unbounded message store with (source, tag) matched retrieval.
+// Unbounded buffering gives the eager-send semantics the stepwise
+// composition schedules assume — a send never blocks on the receiver.
+package mbox
+
+import (
+	"errors"
+	"sync"
+)
+
+// Message is one stored message.
+type Message struct {
+	From, Tag int
+	Payload   []byte
+}
+
+// Mailbox stores messages until a matching Get retrieves them. The zero
+// value is not ready; use New.
+type Mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+	closed  bool
+	err     error
+	srcErr  map[int]error
+}
+
+// New returns an empty open mailbox.
+func New() *Mailbox {
+	m := &Mailbox{srcErr: map[int]error{}}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// ErrClosed is reported by operations on a closed mailbox.
+var ErrClosed = errors.New("mbox: mailbox closed")
+
+// Put stores a message, waking any waiting Get.
+func (m *Mailbox) Put(msg Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.failure()
+	}
+	m.pending = append(m.pending, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+// Get blocks until a message with the given source and tag is available and
+// removes and returns its payload.
+func (m *Mailbox) Get(from, tag int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, p := range m.pending {
+			if p.From == from && p.Tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return p.Payload, nil
+			}
+		}
+		if m.closed {
+			return nil, m.failure()
+		}
+		if err := m.srcErr[from]; err != nil {
+			return nil, err
+		}
+		m.cond.Wait()
+	}
+}
+
+// Key identifies one expected message.
+type Key struct {
+	From, Tag int
+}
+
+// GetAny blocks until a message matching any of the keys is available and
+// returns it — the arrival-order receive used to avoid head-of-line
+// blocking when several messages are outstanding.
+func (m *Mailbox) GetAny(keys []Key) (Message, error) {
+	want := make(map[Key]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, p := range m.pending {
+			if want[Key{From: p.From, Tag: p.Tag}] {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return p, nil
+			}
+		}
+		if m.closed {
+			return Message{}, m.failure()
+		}
+		for k := range want {
+			if err := m.srcErr[k.From]; err != nil {
+				return Message{}, err
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// Fail marks one source as dead: pending messages from it stay retrievable,
+// but a Get that would otherwise block on that source returns err instead.
+// Other sources are unaffected.
+func (m *Mailbox) Fail(from int, err error) {
+	m.mu.Lock()
+	if m.srcErr[from] == nil {
+		m.srcErr[from] = err
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Close marks the mailbox closed, failing pending and future operations
+// with ErrClosed (or cause, if non-nil).
+func (m *Mailbox) Close(cause error) {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.err = cause
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *Mailbox) failure() error {
+	if m.err != nil {
+		return m.err
+	}
+	return ErrClosed
+}

@@ -1,0 +1,325 @@
+// Package tcpnet implements the comm.Comm fabric over raw TCP sockets — the
+// hand-rolled message-passing substrate standing in for the SP2's MPL/MPI
+// layer. Every pair of ranks shares one TCP connection carrying
+// length-prefixed frames with a tag header; a reader goroutine per
+// connection feeds a tag-matching mailbox.
+//
+// Topology: rank i listens on Addrs[i]; every rank j dials every rank i < j
+// and announces itself with an 8-byte rank handshake, so the full mesh
+// needs P*(P-1)/2 connections.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rtcomp/internal/comm"
+	"rtcomp/internal/transport/mbox"
+)
+
+// Config describes one rank's view of the cluster.
+type Config struct {
+	// Rank is this process's rank in [0, len(Addrs)).
+	Rank int
+	// Addrs lists every rank's listen address, index = rank.
+	Addrs []string
+	// DialTimeout bounds the whole mesh setup. Zero means 30s.
+	DialTimeout time.Duration
+}
+
+// maxFrame bounds a single message payload (64 MiB), protecting against
+// corrupt length headers.
+const maxFrame = 64 << 20
+
+// Endpoint is the TCP-backed communicator endpoint.
+type Endpoint struct {
+	rank  int
+	size  int
+	box   *mbox.Mailbox
+	conns []*peerConn // index = peer rank; nil at own rank
+	ln    net.Listener
+
+	mu       sync.Mutex
+	counters comm.Counters
+	closed   bool
+}
+
+var _ comm.Comm = (*Endpoint)(nil)
+
+type peerConn struct {
+	mu sync.Mutex // serialises frame writes
+	c  net.Conn
+}
+
+// Start brings up this rank's listener, connects the mesh and returns when
+// every peer connection is established.
+func Start(cfg Config) (*Endpoint, error) {
+	p := len(cfg.Addrs)
+	if p < 1 || cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("tcpnet: bad config: rank %d of %d", cfg.Rank, p)
+	}
+	timeout := cfg.DialTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	ep := &Endpoint{
+		rank:  cfg.Rank,
+		size:  p,
+		box:   mbox.New(),
+		conns: make([]*peerConn, p),
+	}
+	if p == 1 {
+		return ep, nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+	}
+	ep.ln = ln
+
+	// Accept connections from higher ranks in the background.
+	type accepted struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	wantAccepts := p - 1 - cfg.Rank
+	acceptCh := make(chan accepted, wantAccepts)
+	go func() {
+		for i := 0; i < wantAccepts; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				acceptCh <- accepted{err: fmt.Errorf("handshake read: %w", err)}
+				return
+			}
+			peer := int(binary.BigEndian.Uint64(hdr[:]))
+			if peer <= cfg.Rank || peer >= p {
+				acceptCh <- accepted{err: fmt.Errorf("handshake from invalid rank %d", peer)}
+				return
+			}
+			acceptCh <- accepted{peer: peer, conn: c}
+		}
+	}()
+
+	// Dial lower ranks, retrying until their listeners are up.
+	for peer := 0; peer < cfg.Rank; peer++ {
+		conn, err := dialWithRetry(cfg.Addrs[peer], deadline)
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d dial rank %d: %w", cfg.Rank, peer, err)
+		}
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], uint64(cfg.Rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d handshake to %d: %w", cfg.Rank, peer, err)
+		}
+		ep.conns[peer] = &peerConn{c: conn}
+	}
+
+	for i := 0; i < wantAccepts; i++ {
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				ep.Close()
+				return nil, fmt.Errorf("tcpnet: rank %d accept: %w", cfg.Rank, a.err)
+			}
+			ep.conns[a.peer] = &peerConn{c: a.conn}
+		case <-time.After(time.Until(deadline)):
+			ep.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d timed out waiting for peers", cfg.Rank)
+		}
+	}
+
+	for peer, pc := range ep.conns {
+		if pc != nil {
+			go ep.readLoop(peer, pc.c)
+		}
+	}
+	return ep, nil
+}
+
+func dialWithRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("deadline exceeded")
+			}
+			return nil, lastErr
+		}
+		c, err := net.DialTimeout("tcp", addr, remaining)
+		if err == nil {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Frame layout: 8-byte tag (two's complement int64), 4-byte payload length,
+// payload bytes.
+const frameHeader = 12
+
+func (e *Endpoint) readLoop(peer int, c net.Conn) {
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			// A dead peer only poisons receives from that peer; already
+			// delivered messages and other connections stay live.
+			e.box.Fail(peer, fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			return
+		}
+		tag := int(int64(binary.BigEndian.Uint64(hdr[:8])))
+		n := binary.BigEndian.Uint32(hdr[8:])
+		if n > maxFrame {
+			e.box.Fail(peer, fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			e.box.Fail(peer, fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			return
+		}
+		if err := e.box.Put(mbox.Message{From: peer, Tag: tag, Payload: payload}); err != nil {
+			return
+		}
+	}
+}
+
+// Rank implements comm.Comm.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size implements comm.Comm.
+func (e *Endpoint) Size() int { return e.size }
+
+// Send implements comm.Comm.
+func (e *Endpoint) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= e.size || to == e.rank {
+		return fmt.Errorf("tcpnet: invalid destination rank %d", to)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("tcpnet: payload of %d bytes exceeds frame limit", len(payload))
+	}
+	pc := e.conns[to]
+	if pc == nil {
+		return fmt.Errorf("tcpnet: no connection to rank %d", to)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint64(frame[:8], uint64(int64(tag)))
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[frameHeader:], payload)
+	pc.mu.Lock()
+	_, err := pc.c.Write(frame)
+	pc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("tcpnet: send to rank %d: %w", to, err)
+	}
+	e.mu.Lock()
+	e.counters.MsgsSent++
+	e.counters.BytesSent += int64(len(payload))
+	e.mu.Unlock()
+	return nil
+}
+
+// Recv implements comm.Comm.
+func (e *Endpoint) Recv(from, tag int) ([]byte, error) {
+	if from < 0 || from >= e.size || from == e.rank {
+		return nil, fmt.Errorf("tcpnet: invalid source rank %d", from)
+	}
+	payload, err := e.box.Get(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.counters.MsgsRecv++
+	e.counters.BytesRecv += int64(len(payload))
+	e.mu.Unlock()
+	return payload, nil
+}
+
+// RecvAny implements comm.Comm.
+func (e *Endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	mk := make([]mbox.Key, len(keys))
+	for i, k := range keys {
+		if k.From < 0 || k.From >= e.size || k.From == e.rank {
+			return 0, 0, nil, fmt.Errorf("tcpnet: invalid source rank %d", k.From)
+		}
+		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
+	}
+	msg, err := e.box.GetAny(mk)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	e.mu.Lock()
+	e.counters.MsgsRecv++
+	e.counters.BytesRecv += int64(len(msg.Payload))
+	e.mu.Unlock()
+	return msg.From, msg.Tag, msg.Payload, nil
+}
+
+// Counters implements comm.Comm.
+func (e *Endpoint) Counters() comm.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}
+
+// Close implements comm.Comm.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.box.Close(nil)
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	for _, pc := range e.conns {
+		if pc != nil && pc.c != nil {
+			pc.c.Close()
+		}
+	}
+	return nil
+}
+
+// LoopbackAddrs returns p distinct loopback addresses with OS-assigned
+// ports, for single-machine multi-endpoint tests: it binds p listeners on
+// port 0, records the addresses, and closes them. There is a small race
+// window before the real listeners bind, acceptable for tests and demos.
+func LoopbackAddrs(p int) ([]string, error) {
+	addrs := make([]string, p)
+	lns := make([]net.Listener, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}

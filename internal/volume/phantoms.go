@@ -1,0 +1,178 @@
+package volume
+
+import "math"
+
+// Procedural phantoms with the gross character of the paper's three Chapel
+// Hill test datasets. What the composition experiments care about is the
+// sparsity structure of the rendered partial images (dense object against
+// blank background), which these phantoms reproduce; they are not anatomical
+// models.
+
+// Dataset names the three phantoms.
+var Datasets = []string{"engine", "head", "brain"}
+
+// ByName builds the named phantom at the given cubic resolution.
+func ByName(name string, n int) *Volume {
+	switch name {
+	case "engine":
+		return Engine(n)
+	case "head":
+		return Head(n)
+	case "brain":
+		return Brain(n)
+	}
+	return nil
+}
+
+// Engine builds a CT-engine-block-like phantom: a dense rectangular casting
+// with cylindrical bores, side channels and mounting holes.
+func Engine(n int) *Volume {
+	v := New(n, n, n)
+	f := float64(n)
+	// Casting: a centred block 70% of each dimension, density ~200 with a
+	// mild vertical gradient (casting inhomogeneity).
+	x0, x1 := int(0.15*f), int(0.85*f)
+	y0, y1 := int(0.25*f), int(0.75*f)
+	z0, z1 := int(0.15*f), int(0.85*f)
+	for z := z0; z < z1; z++ {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				v.Set(x, y, z, uint8(190+10*(z-z0)/maxInt(z1-z0, 1)))
+			}
+		}
+	}
+	// Four cylinder bores along Y.
+	bores := [][2]float64{{0.30, 0.35}, {0.30, 0.65}, {0.70, 0.35}, {0.70, 0.65}}
+	rad := 0.09 * f
+	for _, b := range bores {
+		cx, cz := b[0]*f, b[1]*f
+		for z := z0; z < z1; z++ {
+			for x := x0; x < x1; x++ {
+				dx, dz := float64(x)-cx, float64(z)-cz
+				if dx*dx+dz*dz < rad*rad {
+					for y := y0; y < y1; y++ {
+						v.Set(x, y, z, 0)
+					}
+				}
+			}
+		}
+	}
+	// A horizontal coolant channel along X.
+	cy, cz := 0.5*f, 0.5*f
+	crad := 0.05 * f
+	for x := x0; x < x1; x++ {
+		for y := y0; y < y1; y++ {
+			for z := z0; z < z1; z++ {
+				dy, dz := float64(y)-cy, float64(z)-cz
+				if dy*dy+dz*dz < crad*crad {
+					v.Set(x, y, z, 30) // fluid, low density
+				}
+			}
+		}
+	}
+	return v
+}
+
+// Head builds a CT-head-like phantom: an ellipsoidal skull shell around
+// soft tissue, with ventricle-like cavities and a nasal opening.
+func Head(n int) *Volume {
+	v := New(n, n, n)
+	f := float64(n)
+	cx, cy, cz := 0.5*f, 0.5*f, 0.52*f
+	rx, ry, rz := 0.34*f, 0.40*f, 0.38*f
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ex := (float64(x) - cx) / rx
+				ey := (float64(y) - cy) / ry
+				ez := (float64(z) - cz) / rz
+				r := math.Sqrt(ex*ex + ey*ey + ez*ez)
+				switch {
+				case r > 1.0:
+					// air
+				case r > 0.88:
+					v.Set(x, y, z, 230) // skull
+				case r > 0.84:
+					v.Set(x, y, z, 40) // CSF gap
+				default:
+					v.Set(x, y, z, 95) // brain tissue
+				}
+			}
+		}
+	}
+	// Ventricles: two low-density lobes.
+	for _, side := range []float64{-1, 1} {
+		vx, vy, vz := cx+side*0.08*f, cy, cz+0.05*f
+		vr := 0.07 * f
+		for z := int(vz - vr); z <= int(vz+vr); z++ {
+			for y := int(vy - 2*vr); y <= int(vy+2*vr); y++ {
+				for x := int(vx - vr); x <= int(vx+vr); x++ {
+					dx, dy, dz := float64(x)-vx, (float64(y)-vy)/2, float64(z)-vz
+					if dx*dx+dy*dy+dz*dz < vr*vr && x >= 0 && y >= 0 && z >= 0 && x < n && y < n && z < n {
+						v.Set(x, y, z, 25)
+					}
+				}
+			}
+		}
+	}
+	// Nasal opening through the shell.
+	for z := int(0.25 * f); z < int(0.45*f); z++ {
+		for y := int(0.05 * f); y < int(cy); y++ {
+			for x := int(0.46 * f); x < int(0.54*f); x++ {
+				v.Set(x, y, z, 10)
+			}
+		}
+	}
+	return v
+}
+
+// Brain builds an MR-brain-like phantom: a lobed soft-tissue ellipsoid with
+// sinusoidal cortical folds and graded internal structure, no bright shell.
+func Brain(n int) *Volume {
+	v := New(n, n, n)
+	f := float64(n)
+	cx, cy, cz := 0.5*f, 0.5*f, 0.5*f
+	rx, ry, rz := 0.38*f, 0.30*f, 0.32*f
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ex := (float64(x) - cx) / rx
+				ey := (float64(y) - cy) / ry
+				ez := (float64(z) - cz) / rz
+				r := math.Sqrt(ex*ex + ey*ey + ez*ez)
+				// Cortical folds: modulate the surface radius.
+				theta := math.Atan2(ey, ex)
+				phi := math.Atan2(ez, math.Sqrt(ex*ex+ey*ey))
+				fold := 0.04 * math.Sin(9*theta) * math.Cos(7*phi)
+				if r > 1.0+fold {
+					continue
+				}
+				// Gray matter rim, white matter core, graded.
+				depth := (1.0 + fold - r) / (1.0 + fold)
+				val := 70 + 70*depth
+				if math.Sin(5*theta+3*phi) > 0.7 {
+					val -= 25 // sulci shading
+				}
+				v.Set(x, y, z, uint8(clamp(val, 1, 255)))
+			}
+		}
+	}
+	return v
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

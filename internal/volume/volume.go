@@ -1,0 +1,181 @@
+// Package volume provides the scalar volume substrate of the rendering
+// pipeline: a dense uint8 field with raw file IO, plus procedural phantom
+// generators standing in for the Chapel Hill CT/MR test datasets the paper
+// uses ("engine", "head", "brain" — see DESIGN.md for the substitution
+// rationale).
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Volume is a dense scalar field of NX x NY x NZ voxels, X fastest.
+type Volume struct {
+	NX, NY, NZ int
+	Data       []uint8
+}
+
+// New allocates a zeroed volume.
+func New(nx, ny, nz int) *Volume {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("volume: invalid dims %dx%dx%d", nx, ny, nz))
+	}
+	return &Volume{NX: nx, NY: ny, NZ: nz, Data: make([]uint8, nx*ny*nz)}
+}
+
+// At returns the voxel at (x, y, z); out-of-range coordinates read as 0
+// (air), which simplifies resampling at boundaries.
+func (v *Volume) At(x, y, z int) uint8 {
+	if x < 0 || y < 0 || z < 0 || x >= v.NX || y >= v.NY || z >= v.NZ {
+		return 0
+	}
+	return v.Data[(z*v.NY+y)*v.NX+x]
+}
+
+// Set stores the voxel at (x, y, z); coordinates must be in range.
+func (v *Volume) Set(x, y, z int, val uint8) {
+	v.Data[(z*v.NY+y)*v.NX+x] = val
+}
+
+// NVoxels reports the voxel count.
+func (v *Volume) NVoxels() int { return v.NX * v.NY * v.NZ }
+
+// Histogram counts voxels per scalar value.
+func (v *Volume) Histogram() [256]int {
+	var h [256]int
+	for _, s := range v.Data {
+		h[s]++
+	}
+	return h
+}
+
+// OccupiedFraction reports the fraction of voxels above the threshold.
+func (v *Volume) OccupiedFraction(threshold uint8) float64 {
+	n := 0
+	for _, s := range v.Data {
+		if s > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(v.NVoxels())
+}
+
+// Downsample returns the volume reduced by an integer factor along every
+// axis, each output voxel the rounded mean of its factor^3 input block —
+// for fitting large imported scans into memory- or time-constrained runs.
+func (v *Volume) Downsample(factor int) (*Volume, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("volume: downsample factor %d", factor)
+	}
+	if factor == 1 {
+		out := New(v.NX, v.NY, v.NZ)
+		copy(out.Data, v.Data)
+		return out, nil
+	}
+	nx, ny, nz := (v.NX+factor-1)/factor, (v.NY+factor-1)/factor, (v.NZ+factor-1)/factor
+	out := New(nx, ny, nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				var sum, n int
+				for dz := 0; dz < factor; dz++ {
+					for dy := 0; dy < factor; dy++ {
+						for dx := 0; dx < factor; dx++ {
+							sx, sy, sz := x*factor+dx, y*factor+dy, z*factor+dz
+							if sx < v.NX && sy < v.NY && sz < v.NZ {
+								sum += int(v.At(sx, sy, sz))
+								n++
+							}
+						}
+					}
+				}
+				out.Set(x, y, z, uint8((sum+n/2)/n))
+			}
+		}
+	}
+	return out, nil
+}
+
+// magic identifies the tiny container format of Save/Load.
+var magic = [5]byte{'R', 'T', 'V', 'O', 'L'}
+
+// Save writes the volume to a file: a 5-byte magic, three big-endian
+// uint32 dimensions, then the raw voxels.
+func (v *Volume) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var dims [12]byte
+	binary.BigEndian.PutUint32(dims[0:], uint32(v.NX))
+	binary.BigEndian.PutUint32(dims[4:], uint32(v.NY))
+	binary.BigEndian.PutUint32(dims[8:], uint32(v.NZ))
+	if _, err := w.Write(dims[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(v.Data); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// LoadRaw reads a headerless 8-bit raw volume with the given dimensions —
+// the format the original Chapel Hill test datasets ship in — so real
+// scans drop into the pipeline in place of the phantoms.
+func LoadRaw(path string, nx, ny, nz int) (*Volume, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("volume: invalid raw dims %dx%dx%d", nx, ny, nz)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	v := New(nx, ny, nz)
+	if _, err := io.ReadFull(bufio.NewReader(f), v.Data); err != nil {
+		return nil, fmt.Errorf("volume: raw file %s smaller than %d voxels: %w", path, v.NVoxels(), err)
+	}
+	return v, nil
+}
+
+// Load reads a volume written by Save.
+func Load(path string) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("volume: %s is not an RTVOL file", path)
+	}
+	var dims [12]byte
+	if _, err := io.ReadFull(r, dims[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading dims: %w", err)
+	}
+	nx := int(binary.BigEndian.Uint32(dims[0:]))
+	ny := int(binary.BigEndian.Uint32(dims[4:]))
+	nz := int(binary.BigEndian.Uint32(dims[8:]))
+	const maxDim = 4096
+	if nx <= 0 || ny <= 0 || nz <= 0 || nx > maxDim || ny > maxDim || nz > maxDim {
+		return nil, fmt.Errorf("volume: implausible dims %dx%dx%d", nx, ny, nz)
+	}
+	v := New(nx, ny, nz)
+	if _, err := io.ReadFull(r, v.Data); err != nil {
+		return nil, fmt.Errorf("volume: reading voxels: %w", err)
+	}
+	return v, nil
+}

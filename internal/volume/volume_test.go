@@ -1,0 +1,178 @@
+package volume
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+func TestNewAtSet(t *testing.T) {
+	v := New(4, 5, 6)
+	if v.NVoxels() != 120 {
+		t.Fatalf("NVoxels = %d", v.NVoxels())
+	}
+	v.Set(3, 4, 5, 77)
+	if got := v.At(3, 4, 5); got != 77 {
+		t.Fatalf("At = %d", got)
+	}
+	// Out of range reads as air.
+	if v.At(-1, 0, 0) != 0 || v.At(4, 0, 0) != 0 || v.At(0, 5, 0) != 0 || v.At(0, 0, 6) != 0 {
+		t.Fatal("out-of-range voxel not air")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	v := New(2, 2, 2)
+	v.Set(0, 0, 0, 9)
+	v.Set(1, 1, 1, 9)
+	h := v.Histogram()
+	if h[9] != 2 || h[0] != 6 {
+		t.Fatalf("histogram h[9]=%d h[0]=%d", h[9], h[0])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	v := Engine(16)
+	path := filepath.Join(t.TempDir(), "engine.rtvol")
+	if err := v.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != 16 || got.NY != 16 || got.NZ != 16 {
+		t.Fatalf("dims %dx%dx%d", got.NX, got.NY, got.NZ)
+	}
+	for i := range v.Data {
+		if v.Data[i] != got.Data[i] {
+			t.Fatalf("voxel %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus")
+	if err := New(1, 1, 1).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic.
+	if _, err := Load("/nonexistent/file"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPhantomsHaveStructure(t *testing.T) {
+	for _, name := range Datasets {
+		v := ByName(name, 32)
+		if v == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		occ := v.OccupiedFraction(20)
+		if occ < 0.05 || occ > 0.8 {
+			t.Fatalf("%s: occupied fraction %v not object-against-background", name, occ)
+		}
+		// Multiple density populations, not a binary mask.
+		h := v.Histogram()
+		distinct := 0
+		for s := 1; s < 256; s++ {
+			if h[s] > 0 {
+				distinct++
+			}
+		}
+		if distinct < 3 {
+			t.Fatalf("%s: only %d distinct non-air densities", name, distinct)
+		}
+	}
+	if ByName("nope", 8) != nil {
+		t.Fatal("unknown dataset returned a volume")
+	}
+}
+
+func TestEngineHasBores(t *testing.T) {
+	v := Engine(64)
+	// The bore at (0.30, y, 0.35) must be empty while the casting nearby
+	// is dense.
+	if v.At(19, 32, 22) != 0 {
+		t.Fatalf("bore voxel = %d, want 0", v.At(19, 32, 22))
+	}
+	if v.At(13, 32, 13) < 150 {
+		t.Fatalf("casting voxel = %d, want dense", v.At(13, 32, 13))
+	}
+}
+
+func TestPhantomsDeterministic(t *testing.T) {
+	a, b := Head(24), Head(24)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("phantom generation is not deterministic")
+		}
+	}
+}
+
+func TestLoadRaw(t *testing.T) {
+	v := Brain(12)
+	path := filepath.Join(t.TempDir(), "brain.raw")
+	if err := osWriteFile(path, v.Data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRaw(path, 12, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		if got.Data[i] != v.Data[i] {
+			t.Fatalf("voxel %d differs", i)
+		}
+	}
+	if _, err := LoadRaw(path, 13, 13, 13); err == nil {
+		t.Fatal("short raw file accepted")
+	}
+	if _, err := LoadRaw(path, 0, 1, 1); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	v := Engine(32)
+	d, err := v.Downsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NX != 16 || d.NY != 16 || d.NZ != 16 {
+		t.Fatalf("dims %dx%dx%d", d.NX, d.NY, d.NZ)
+	}
+	// The downsampled occupancy tracks the original's.
+	if orig, down := v.OccupiedFraction(20), d.OccupiedFraction(20); down < orig/2 || down > orig*2 {
+		t.Fatalf("occupancy drifted: %v -> %v", orig, down)
+	}
+	// A constant block averages to itself.
+	c := New(4, 4, 4)
+	for i := range c.Data {
+		c.Data[i] = 77
+	}
+	dc, _ := c.Downsample(2)
+	for i, s := range dc.Data {
+		if s != 77 {
+			t.Fatalf("voxel %d = %d", i, s)
+		}
+	}
+	// Non-divisible dims round up with partial blocks.
+	odd := New(5, 5, 5)
+	do, err := odd.Downsample(2)
+	if err != nil || do.NX != 3 {
+		t.Fatalf("odd downsample: %v, %v", do, err)
+	}
+	// Factor 1 copies.
+	same, _ := v.Downsample(1)
+	for i := range v.Data {
+		if same.Data[i] != v.Data[i] {
+			t.Fatal("factor 1 changed data")
+		}
+	}
+	if _, err := v.Downsample(0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}

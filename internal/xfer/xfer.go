@@ -1,0 +1,85 @@
+// Package xfer implements transfer functions — the classification step of
+// volume rendering that maps raw scalars to a rendered gray value and an
+// opacity. A Func is a 256-entry lookup table, evaluated per resampled
+// voxel by the renderer.
+package xfer
+
+import "fmt"
+
+// Func maps a scalar to (gray value, alpha). Alpha 0 means fully
+// transparent: the sample contributes nothing.
+type Func struct {
+	Value [256]uint8
+	Alpha [256]uint8
+}
+
+// Classify applies the transfer function to one scalar.
+func (f *Func) Classify(s uint8) (v, a uint8) { return f.Value[s], f.Alpha[s] }
+
+// Ramp builds a window/level classification: scalars below lo are
+// transparent, scalars above hi are fully maxAlpha-opaque with value
+// maxValue, and the window [lo, hi] ramps linearly in both channels.
+func Ramp(lo, hi uint8, maxValue, maxAlpha uint8) *Func {
+	f := &Func{}
+	for s := 0; s < 256; s++ {
+		switch {
+		case s < int(lo):
+			// transparent
+		case s >= int(hi):
+			f.Value[s] = maxValue
+			f.Alpha[s] = maxAlpha
+		default:
+			t := float64(s-int(lo)) / float64(int(hi)-int(lo))
+			f.Value[s] = uint8(t * float64(maxValue))
+			f.Alpha[s] = uint8(t * float64(maxAlpha))
+		}
+	}
+	return f
+}
+
+// Isosurface builds a hard-threshold classification: opaque at and above
+// the threshold, transparent below — the bone/metal look.
+func Isosurface(threshold uint8, value uint8) *Func {
+	f := &Func{}
+	for s := int(threshold); s < 256; s++ {
+		f.Value[s] = value
+		f.Alpha[s] = 255
+	}
+	return f
+}
+
+// Parse builds a transfer function from a "lo:hi:value:alpha" window
+// specification (e.g. "120:210:235:160"), the CLI syntax of the tools.
+func Parse(spec string) (*Func, error) {
+	var lo, hi, val, al int
+	if _, err := fmt.Sscanf(spec, "%d:%d:%d:%d", &lo, &hi, &val, &al); err != nil {
+		return nil, fmt.Errorf("xfer: bad spec %q, want lo:hi:value:alpha: %v", spec, err)
+	}
+	for _, v := range []int{lo, hi, val, al} {
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("xfer: spec %q has out-of-range byte %d", spec, v)
+		}
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("xfer: spec %q needs hi > lo", spec)
+	}
+	return Ramp(uint8(lo), uint8(hi), uint8(val), uint8(al)), nil
+}
+
+// ForDataset returns the preset classification used by the experiments for
+// each phantom: a semi-opaque ramp that leaves realistic blank backgrounds
+// in the partial images.
+func ForDataset(name string) *Func {
+	switch name {
+	case "engine":
+		// Bring out the metal casting, hide the fluid channel.
+		return Ramp(120, 210, 235, 160)
+	case "head":
+		// Skin-to-bone ramp: soft tissue translucent, skull bright.
+		return Ramp(60, 220, 245, 120)
+	case "brain":
+		// Soft tissue only, gentle opacity.
+		return Ramp(50, 150, 220, 90)
+	}
+	return Ramp(1, 255, 255, 128)
+}

@@ -1,0 +1,66 @@
+package xfer
+
+import "testing"
+
+func TestRampEndpoints(t *testing.T) {
+	f := Ramp(100, 200, 250, 180)
+	if v, a := f.Classify(50); v != 0 || a != 0 {
+		t.Fatalf("below window: (%d,%d)", v, a)
+	}
+	if v, a := f.Classify(250); v != 250 || a != 180 {
+		t.Fatalf("above window: (%d,%d)", v, a)
+	}
+	v1, a1 := f.Classify(120)
+	v2, a2 := f.Classify(180)
+	if !(v1 < v2 && a1 < a2) {
+		t.Fatalf("ramp not monotone: (%d,%d) then (%d,%d)", v1, a1, v2, a2)
+	}
+}
+
+func TestIsosurface(t *testing.T) {
+	f := Isosurface(128, 200)
+	if _, a := f.Classify(127); a != 0 {
+		t.Fatal("below threshold should be transparent")
+	}
+	if v, a := f.Classify(128); v != 200 || a != 255 {
+		t.Fatal("at threshold should be fully opaque")
+	}
+}
+
+func TestDatasetPresetsTransparentAir(t *testing.T) {
+	for _, name := range []string{"engine", "head", "brain", "other"} {
+		f := ForDataset(name)
+		if _, a := f.Classify(0); a != 0 {
+			t.Fatalf("%s: air is not transparent", name)
+		}
+		// Something must be visible.
+		visible := false
+		for s := 0; s < 256; s++ {
+			if f.Alpha[s] > 0 {
+				visible = true
+				break
+			}
+		}
+		if !visible {
+			t.Fatalf("%s: nothing visible", name)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	f, err := Parse("120:210:235:160")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, a := f.Classify(250); v != 235 || a != 160 {
+		t.Fatalf("above window = (%d,%d)", v, a)
+	}
+	if _, a := f.Classify(100); a != 0 {
+		t.Fatal("below window not transparent")
+	}
+	for _, bad := range []string{"", "1:2:3", "300:400:1:1", "9:5:1:1", "a:b:c:d"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

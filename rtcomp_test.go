@@ -1,0 +1,112 @@
+package rtcomp_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtcomp"
+	"rtcomp/internal/compose"
+	"rtcomp/internal/raster"
+)
+
+// TestPublicAPIComposite drives a composition entirely through the public
+// facade — what a downstream user of the library writes.
+func TestPublicAPIComposite(t *testing.T) {
+	const p = 6
+	rng := rand.New(rand.NewSource(99))
+	layers := make([]*rtcomp.Image, p)
+	for r := range layers {
+		layers[r] = raster.RandomBinaryImage(rng, 64, 32, 0.5)
+	}
+	sched, err := rtcomp.NRT(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtcomp.ValidateSchedule(sched, 64*32); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var final *rtcomp.Image
+	err = rtcomp.RunInProcess(p, func(c rtcomp.Comm) error {
+		img, _, err := rtcomp.Composite(c, sched, layers[c.Rank()],
+			rtcomp.CompositeOptions{Codec: rtcomp.TRLE{}, GatherRoot: 0})
+		if img != nil {
+			mu.Lock()
+			final = img
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := compose.SerialComposite(layers)
+	if !raster.Equal(final, want) {
+		t.Fatal("public API composition differs from serial reference")
+	}
+}
+
+// TestPublicAPIPipeline drives the rendering pipeline through the facade.
+func TestPublicAPIPipeline(t *testing.T) {
+	m, err := rtcomp.ParseMethod("2nrt:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rtcomp.PipelineConfig{
+		Dataset: "brain",
+		VolumeN: 32,
+		Camera:  rtcomp.Camera{Yaw: 0.3, Pitch: 0.1},
+		Width:   64, Height: 64,
+		P:      4,
+		Method: m,
+		Codec:  "trle",
+	}
+	rep, err := rtcomp.RenderParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := rtcomp.RenderSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := raster.MaxDiff(rep.Image, serial); d > 4 {
+		t.Fatalf("pipeline image differs from serial by %d", d)
+	}
+}
+
+// TestPublicAPIAnalysis exercises the model and simulator surface.
+func TestPublicAPIAnalysis(t *testing.T) {
+	bound, n := rtcomp.OptimalN2NRT(32, 512*512, rtcomp.PaperParams())
+	if n != 4 || bound < 4 || bound > 4.5 {
+		t.Fatalf("Eq (5) via facade: bound %v, N %d", bound, n)
+	}
+	sched, err := rtcomp.RT(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	layers := make([]*rtcomp.Image, 8)
+	for r := range layers {
+		layers[r] = raster.RandomBinaryImage(rng, 64, 32, 0.5)
+	}
+	res, err := rtcomp.Simulate(sched, layers, rtcomp.Raw{}, rtcomp.SP2Calibrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("simulated time %v", res.Time)
+	}
+}
+
+// TestPublicAPIVolumes exercises the volume surface.
+func TestPublicAPIVolumes(t *testing.T) {
+	v := rtcomp.PhantomVolume("head", 24)
+	if v == nil {
+		t.Fatal("PhantomVolume returned nil")
+	}
+	tf := rtcomp.TransferForDataset("head")
+	if _, a := tf.Classify(0); a != 0 {
+		t.Fatal("air not transparent via facade")
+	}
+}
