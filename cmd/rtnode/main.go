@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rtcomp/internal/comm"
+	"rtcomp/internal/compositor"
 	"rtcomp/internal/core"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/shearwarp"
@@ -44,6 +45,9 @@ func main() {
 		rle     = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
 		part    = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
 		timeout = flag.Duration("timeout", 30*time.Second, "mesh setup timeout")
+		recvTO  = flag.Duration("recv-timeout", 0, "composition receive deadline (0 = wait forever)")
+		missing = flag.String("on-missing", "fail", "policy for missing contributions: fail or partial")
+		quiet   = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
 	)
 	flag.Parse()
 
@@ -51,19 +55,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if _, err := compositor.ParsePolicy(*missing); err != nil {
+		fatal(err)
+	}
 	mkConfig := func(p int) core.Config {
 		return core.Config{
-			Dataset:    *dataset,
-			VolumeN:    *volN,
-			Camera:     shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
-			Width:      *size,
-			Height:     *size,
-			P:          p,
-			Method:     m,
-			Codec:      *cdc,
-			Accelerate: *accel,
-			RLE:        *rle,
-			Partition:  *part,
+			Dataset:     *dataset,
+			VolumeN:     *volN,
+			Camera:      shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
+			Width:       *size,
+			Height:      *size,
+			P:           p,
+			Method:      m,
+			Codec:       *cdc,
+			Accelerate:  *accel,
+			RLE:         *rle,
+			Partition:   *part,
+			RecvTimeout: *recvTO,
+			OnMissing:   *missing,
 		}
 	}
 
@@ -78,7 +87,12 @@ func main() {
 	if *addrs == "" || *rank < 0 || *rank >= len(list) {
 		fatal(fmt.Errorf("need -rank in [0,%d) and -addrs with one address per rank (or -local P)", len(list)))
 	}
-	ep, err := tcpnet.Start(tcpnet.Config{Rank: *rank, Addrs: list, DialTimeout: *timeout})
+	ep, err := tcpnet.Start(tcpnet.Config{
+		Rank:        *rank,
+		Addrs:       list,
+		DialTimeout: *timeout,
+		Logf:        meshLogf(*quiet),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -87,6 +101,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	warnDegraded(rep)
 	fmt.Printf("rank %d: %d msgs sent, %d bytes sent, %d over-pixels\n",
 		*rank, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels)
 	// Cluster-wide totals, reduced to rank 0 over the same sockets.
@@ -108,6 +123,28 @@ func main() {
 	}
 }
 
+// meshLogf returns the per-peer mesh setup progress logger — the antidote
+// to a rank silently blocking on a peer that never comes up.
+func meshLogf(quiet bool) func(format string, args ...any) {
+	if quiet {
+		return nil
+	}
+	return func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+// warnDegraded surfaces a compose-partial result that is missing
+// contributions, so a flagged image is never mistaken for a complete one.
+func warnDegraded(rep *compositor.Report) {
+	if rep == nil || !rep.Degraded {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"rtnode: WARNING: rank %d composed a DEGRADED image: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s)\n",
+		rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers)
+}
+
 func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 	addrs, err := tcpnet.LoopbackAddrs(p)
 	if err != nil {
@@ -123,7 +160,7 @@ func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 			defer wg.Done()
 			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: timeout})
 			if err != nil {
-				errs[r] = err
+				errs[r] = fmt.Errorf("mesh setup: %w", err)
 				return
 			}
 			defer ep.Close()
@@ -132,6 +169,7 @@ func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 				errs[r] = err
 				return
 			}
+			warnDegraded(rep)
 			fmt.Printf("rank %d: %d msgs, %d bytes over TCP\n", r, rep.Comm.MsgsSent, rep.Comm.BytesSent)
 			if img != nil {
 				mu.Lock()

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/compose"
+	"rtcomp/internal/compositor"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/transport/faulty"
+	"rtcomp/internal/transport/inproc"
+)
+
+// chaosConfig parameterises one fault-injected composition run.
+type chaosConfig struct {
+	sched  *schedule.Schedule
+	layers []*raster.Image
+	cdc    codec.Codec
+
+	seed      int64
+	drop      float64
+	resend    int
+	delayProb float64
+	maxDelay  time.Duration
+	dup       float64
+	corrupt   float64
+	dieAfter  int
+	// dieAfter applies to the last rank only, so the run demonstrates the
+	// survivors' behaviour rather than killing everyone.
+	recvTimeout time.Duration
+	onMissing   string
+}
+
+// runChaos executes the schedule for real on the in-process fabric with
+// every rank's endpoint wrapped in the fault-injection middleware, then
+// reports whether the composition survived: a correct image, a flagged
+// degraded image, or a typed per-rank error — never a hang.
+func runChaos(cc chaosConfig) error {
+	policy, err := compositor.ParsePolicy(cc.onMissing)
+	if err != nil {
+		return err
+	}
+	p := cc.sched.P
+	plan := faulty.Plan{
+		Seed: cc.seed, Drop: cc.drop, MaxResend: cc.resend,
+		DelayProb: cc.delayProb, MaxDelay: cc.maxDelay,
+		DupProb: cc.dup, CorruptProb: cc.corrupt,
+	}
+	// Rendered partials carry general alpha, where u8 over is associative
+	// only up to rounding; compare against the float-accumulated reference
+	// with the same +-2 level tolerance the correctness suite uses.
+	want := compose.SerialCompositeF(cc.layers)
+	const tol = 2
+
+	var mu sync.Mutex
+	var final *raster.Image
+	reports := make([]*compositor.Report, p)
+	rankErrs := make([]error, p)
+	stats := make([]faulty.Stats, p)
+	t0 := time.Now()
+	inproc.Run(p, func(inner comm.Comm) error {
+		rankPlan := plan
+		if cc.dieAfter > 0 && inner.Rank() == p-1 {
+			rankPlan.DieAfterSends = cc.dieAfter
+		}
+		ep := faulty.Wrap(inner, rankPlan)
+		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], compositor.Options{
+			Codec:       cc.cdc,
+			GatherRoot:  0,
+			RecvTimeout: cc.recvTimeout,
+			OnMissing:   policy,
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		reports[inner.Rank()] = rep
+		rankErrs[inner.Rank()] = err
+		stats[inner.Rank()] = ep.Stats()
+		if img != nil {
+			final = img
+		}
+		return nil
+	})
+	elapsed := time.Since(t0)
+
+	fmt.Printf("chaos: method=%s p=%d seed=%d drop=%g resend=%d delay=%g dup=%g corrupt=%g die-after=%d policy=%s\n",
+		cc.sched.Name, p, cc.seed, cc.drop, cc.resend, cc.delayProb, cc.dup, cc.corrupt, cc.dieAfter, policy)
+	var tot faulty.Stats
+	for _, s := range stats {
+		tot.Dropped += s.Dropped
+		tot.Lost += s.Lost
+		tot.Resent += s.Resent
+		tot.Delayed += s.Delayed
+		tot.Duplicated += s.Duplicated
+		tot.Corrupted += s.Corrupted
+		tot.RejectedCRC += s.RejectedCRC
+	}
+	fmt.Printf("chaos: injected %d drop(s) (%d lost, %d resends), %d delay(s), %d dup(s), %d corruption(s), %d CRC reject(s)\n",
+		tot.Dropped, tot.Lost, tot.Resent, tot.Delayed, tot.Duplicated, tot.Corrupted, tot.RejectedCRC)
+
+	failed := 0
+	for r, err := range rankErrs {
+		if err != nil {
+			failed++
+			fmt.Printf("chaos: rank %d error: %v\n", r, err)
+		}
+	}
+	degraded := false
+	for _, rep := range reports {
+		if rep != nil && rep.Degraded {
+			degraded = true
+			fmt.Printf("chaos: rank %d degraded: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s)\n",
+				rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers)
+		}
+	}
+	switch {
+	case failed > 0:
+		fmt.Printf("chaos: FAILED CLEANLY in %v — %d rank(s) returned typed errors, no hang\n", elapsed, failed)
+	case final == nil:
+		fmt.Printf("chaos: no final image in %v\n", elapsed)
+	case degraded:
+		fmt.Printf("chaos: DEGRADED image composed in %v (maxdiff vs reference: %d)\n",
+			elapsed, raster.MaxDiff(final, want))
+	case raster.MaxDiff(final, want) <= tol:
+		fmt.Printf("chaos: SURVIVED in %v — image matches the fault-free composite (maxdiff %d, tolerance %d)\n",
+			elapsed, raster.MaxDiff(final, want), tol)
+	default:
+		return fmt.Errorf("chaos: composed image DIFFERS from the fault-free composite (maxdiff %d > %d) without being flagged degraded",
+			raster.MaxDiff(final, want), tol)
+	}
+	return nil
+}

@@ -4,12 +4,20 @@
 //
 //	rtsim -dataset engine -p 16 -method 2nrt:4 -codec trle
 //	rtsim -p 8 -method bs -gantt -trace bs.json
+//
+// With -chaos the composition instead runs for real on the in-process
+// fabric wrapped in the fault-injection middleware, reporting whether the
+// schedule survived the configured fault mix:
+//
+//	rtsim -p 8 -method nrt:4 -chaos -drop 0.3 -resend 8 -recv-timeout 2s
+//	rtsim -p 5 -method pp -chaos -die-after 3 -recv-timeout 1s -on-missing partial
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtcomp/internal/codec"
 	"rtcomp/internal/core"
@@ -32,6 +40,18 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print the per-rank occupancy chart")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file")
 		dotFile   = flag.String("dot", "", "write the schedule as a Graphviz digraph")
+
+		chaos     = flag.Bool("chaos", false, "run for real on the fault-injected in-process fabric")
+		chaosSeed = flag.Int64("seed", 1, "chaos: fault stream seed")
+		drop      = flag.Float64("drop", 0, "chaos: per-attempt message drop probability")
+		resend    = flag.Int("resend", 0, "chaos: retransmission attempts per dropped message")
+		delayProb = flag.Float64("delay-prob", 0, "chaos: delivery jitter probability")
+		maxDelay  = flag.Duration("max-delay", 5*time.Millisecond, "chaos: jitter bound")
+		dup       = flag.Float64("dup", 0, "chaos: duplicate delivery probability")
+		corrupt   = flag.Float64("corrupt", 0, "chaos: payload corruption probability")
+		dieAfter  = flag.Int("die-after", 0, "chaos: kill the last rank after this many sends (0 = never)")
+		recvTO    = flag.Duration("recv-timeout", 2*time.Second, "chaos: composition receive deadline")
+		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail or partial)")
 	)
 	flag.Parse()
 
@@ -70,6 +90,20 @@ func main() {
 	layers, err := experiments.Partials(o, *p)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *chaos {
+		err := runChaos(chaosConfig{
+			sched: sched, layers: layers, cdc: c,
+			seed: *chaosSeed, drop: *drop, resend: *resend,
+			delayProb: *delayProb, maxDelay: *maxDelay,
+			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
+			recvTimeout: *recvTO, onMissing: *missing,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	res, err := simnet.Simulate(sched, layers, c, params)

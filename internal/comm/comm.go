@@ -6,7 +6,11 @@
 // compositor code runs shared-memory-parallel or truly distributed.
 package comm
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Comm is one rank's endpoint into a P-way communicator.
 //
@@ -26,16 +30,75 @@ type Comm interface {
 	// Recv blocks until the message with the given source and tag arrives
 	// and returns its payload.
 	Recv(from, tag int) ([]byte, error)
+	// RecvTimeout is Recv with a deadline: if the message has not arrived
+	// within the timeout it returns a *DeadlineError (matching ErrDeadline)
+	// and the message, should it arrive later, stays retrievable. A
+	// timeout <= 0 waits forever, exactly like Recv.
+	RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error)
 	// RecvAny blocks until any of the (source, tag) pairs arrives and
 	// returns the matched source, tag and payload — receipt in arrival
 	// order, avoiding head-of-line blocking across several outstanding
 	// messages.
 	RecvAny(keys []MsgKey) (from, tag int, payload []byte, err error)
+	// RecvAnyTimeout is RecvAny with a deadline, with the same contract as
+	// RecvTimeout: timeout <= 0 waits forever, an elapsed deadline yields a
+	// *DeadlineError naming the keys still outstanding.
+	RecvAnyTimeout(keys []MsgKey, timeout time.Duration) (from, tag int, payload []byte, err error)
 	// Counters reports the traffic this endpoint has generated so far.
 	Counters() Counters
 	// Close releases the endpoint. Other ranks' pending operations may fail
 	// after a Close.
 	Close() error
+}
+
+// ErrDeadline is the sentinel matched (via errors.Is) by every
+// *DeadlineError a fabric returns from its timeout receives.
+var ErrDeadline = errors.New("comm: receive deadline exceeded")
+
+// DeadlineError reports a receive that timed out. It records which messages
+// were still outstanding so callers can attribute the stall to a rank.
+type DeadlineError struct {
+	Rank    int           // the waiting rank
+	Keys    []MsgKey      // the (source, tag) pairs that never arrived
+	Timeout time.Duration // the deadline that elapsed
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("comm: rank %d: no message for %v within %v (deadline exceeded)",
+		e.Rank, e.Keys, e.Timeout)
+}
+
+// Is reports a match against ErrDeadline.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// ErrPeer is the sentinel matched (via errors.Is) by every *PeerError.
+var ErrPeer = errors.New("comm: peer failed")
+
+// PeerError reports that a specific peer rank failed (dead connection,
+// corrupt frame stream, injected death): receives from that rank cannot
+// complete, while traffic with other ranks stays unaffected.
+type PeerError struct {
+	Rank int // the failed peer
+	Err  error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("comm: peer rank %d failed: %v", e.Rank, e.Err)
+}
+
+// Is reports a match against ErrPeer.
+func (e *PeerError) Is(target error) bool { return target == ErrPeer }
+
+// Unwrap exposes the underlying transport error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// IsRecoverable reports whether err is a per-message or per-peer failure a
+// degradation policy may absorb (a missed deadline or a dead peer), as
+// opposed to a fault of the local endpoint itself.
+func IsRecoverable(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrPeer)
 }
 
 // MsgKey identifies one expected message for RecvAny.

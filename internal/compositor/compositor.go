@@ -11,7 +11,9 @@ package compositor
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
@@ -19,6 +21,43 @@ import (
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 )
+
+// Policy selects how a composition reacts to a missing contribution — a
+// peer that died or a message that never beat the receive deadline.
+type Policy int
+
+const (
+	// FailFast aborts the composition with a typed error naming the stall.
+	FailFast Policy = iota
+	// ComposePartial substitutes blank (fully transparent) data for the
+	// missing contributions, finishes the composition, and flags the
+	// result via Report.Degraded — the show-must-go-on configuration of an
+	// interactive display wall.
+	ComposePartial
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case ComposePartial:
+		return "partial"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy parses a policy flag value: "fail"/"fail-fast" or
+// "partial"/"compose-partial".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fail", "fail-fast":
+		return FailFast, nil
+	case "partial", "compose-partial":
+		return ComposePartial, nil
+	}
+	return FailFast, fmt.Errorf("compositor: unknown missing-data policy %q (want fail or partial)", s)
+}
 
 // Options configures a composition run.
 type Options struct {
@@ -31,6 +70,14 @@ type Options struct {
 	// assembled image from the root so every rank returns it — the
 	// display-wall configuration.
 	Broadcast bool
+	// RecvTimeout bounds every receive of the composition (per step and
+	// per gathered rank). Zero waits forever — the lossless-fabric
+	// configuration.
+	RecvTimeout time.Duration
+	// OnMissing selects the degradation policy when a receive deadline
+	// elapses or a peer fails. It only takes effect with a non-zero
+	// RecvTimeout or a fabric that reports peer failures.
+	OnMissing Policy
 }
 
 // Report summarises one rank's work during a composition.
@@ -41,6 +88,13 @@ type Report struct {
 	RawBytes    int64         // block payload bytes before compression
 	WireBytes   int64         // block payload bytes after compression
 	FinalBlocks int           // final blocks this rank owned before gather
+
+	// Degraded flags a compose-partial result that is missing
+	// contributions; the counters below attribute the damage.
+	Degraded         bool
+	MissingTransfers int   // scheduled messages that never arrived (or failed to send)
+	MissingLayerPix  int64 // pixels times absent ranks substituted as blank
+	MissingGathers   int   // ranks whose final blocks never reached the gather root
 }
 
 // Run executes the schedule for this rank's partial image. On the gather
@@ -74,7 +128,12 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 			switch {
 			case tr.From == me:
 				if err := send(c, st, cdc, rep, si, tr); err != nil {
-					return nil, nil, err
+					if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
+						rep.Degraded = true
+						rep.MissingTransfers++
+						continue
+					}
+					return nil, nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
 				}
 			case tr.To == me:
 				pending[comm.MsgKey{From: tr.From, Tag: tagFor(si, tr.Block)}] = tr
@@ -85,9 +144,21 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 			keys = append(keys, k)
 		}
 		for len(pending) > 0 {
-			from, tag, payload, err := c.RecvAny(keys)
+			from, tag, payload, err := c.RecvAnyTimeout(keys, opts.RecvTimeout)
 			if err != nil {
-				return nil, nil, err
+				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
+					rep.Degraded = true
+					if dropped, ok := dropFailedPeer(err, pending, &keys); ok {
+						// Only that peer's messages are hopeless; keep
+						// waiting for the remaining sources.
+						rep.MissingTransfers += dropped
+						continue
+					}
+					// Deadline elapsed: everything still pending missed it.
+					rep.MissingTransfers += len(pending)
+					break
+				}
+				return nil, nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
 			}
 			key := comm.MsgKey{From: from, Tag: tag}
 			tr, ok := pending[key]
@@ -102,6 +173,12 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 				}
 			}
 			if err := merge(st, cdc, rep, tr, payload); err != nil {
+				if opts.OnMissing == ComposePartial && errors.Is(err, codec.ErrCorrupt) {
+					// A corrupt payload is discarded like a lost message.
+					rep.Degraded = true
+					rep.MissingTransfers++
+					continue
+				}
 				return nil, nil, err
 			}
 		}
@@ -110,6 +187,16 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		}
 	}
 
+	if opts.OnMissing == ComposePartial {
+		missing, err := st.FillGaps(sched.P)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.MissingLayerPix += missing
+		if missing > 0 {
+			rep.Degraded = true
+		}
+	}
 	if err := st.CheckComplete(sched.P); err != nil {
 		return nil, nil, err
 	}
@@ -117,7 +204,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 
 	var final *raster.Image
 	if opts.GatherRoot >= 0 {
-		img, err := gather(c, st, opts.GatherRoot, local.W, local.H)
+		img, err := gather(c, st, rep, opts, local.W, local.H)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -151,6 +238,34 @@ func tagFor(step int, b schedule.Block) int {
 	return ((step+1)&0xFFFF)<<40 | (b.Tile&0xFFFF)<<24 | (b.Level&0xFF)<<16 | (b.Index & 0xFFFF)
 }
 
+// tagGatherFinal is the tag of the final-block gather messages. Step tags
+// always carry step+1 >= 1 in bits 40+, so any value below 2^40 is free.
+const tagGatherFinal = (1 << 39) + 0x6A74
+
+// dropFailedPeer, given a receive error, removes the pending transfers
+// sourced at the failed peer (if the error names one) and reports how many
+// were dropped; ok is false when the error is not peer-attributed.
+func dropFailedPeer(err error, pending map[comm.MsgKey]schedule.Transfer, keys *[]comm.MsgKey) (dropped int, ok bool) {
+	var perr *comm.PeerError
+	if !errors.As(err, &perr) {
+		return 0, false
+	}
+	for k := range pending {
+		if k.From == perr.Rank {
+			delete(pending, k)
+			dropped++
+		}
+	}
+	kept := (*keys)[:0]
+	for _, k := range *keys {
+		if k.From != perr.Rank {
+			kept = append(kept, k)
+		}
+	}
+	*keys = kept
+	return dropped, true
+}
+
 // EncodeFragments serialises a fragment list with the given codec:
 // uvarint(count), then per fragment uvarint(lo), uvarint(hi),
 // uvarint(len(enc)), enc. It also reports the raw and encoded payload
@@ -172,11 +287,13 @@ func EncodeFragments(frags []fragstore.Fragment, cdc codec.Codec) (buf []byte, r
 	return buf, raw, wire
 }
 
-// DecodeFragments inverts EncodeFragments for a block of npix pixels.
+// DecodeFragments inverts EncodeFragments for a block of npix pixels. All
+// failures wrap codec.ErrCorrupt, so callers can treat a mangled payload
+// like a lost message under a degradation policy.
 func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fragment, error) {
 	nfrags, off := binary.Uvarint(payload)
 	if off <= 0 {
-		return nil, fmt.Errorf("compositor: corrupt block message header")
+		return nil, fmt.Errorf("compositor: %w: block message header", codec.ErrCorrupt)
 	}
 	rest := payload[off:]
 	incoming := make([]fragstore.Fragment, 0, nfrags)
@@ -185,13 +302,13 @@ func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fra
 		for j := range vals {
 			v, k := binary.Uvarint(rest)
 			if k <= 0 {
-				return nil, fmt.Errorf("compositor: corrupt fragment header")
+				return nil, fmt.Errorf("compositor: %w: fragment header", codec.ErrCorrupt)
 			}
 			vals[j], rest = v, rest[k:]
 		}
 		n := vals[2]
 		if uint64(len(rest)) < n {
-			return nil, fmt.Errorf("compositor: corrupt fragment length")
+			return nil, fmt.Errorf("compositor: %w: fragment length", codec.ErrCorrupt)
 		}
 		data, err := cdc.Decode(rest[:n], npix)
 		if err != nil {
@@ -204,7 +321,7 @@ func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fra
 		})
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("compositor: %d trailing bytes in block message", len(rest))
+		return nil, fmt.Errorf("compositor: %w: %d trailing bytes in block message", codec.ErrCorrupt, len(rest))
 	}
 	return incoming, nil
 }
@@ -236,9 +353,11 @@ func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tr schedule.Transf
 // gather ships every rank's final blocks to root and assembles the final
 // image there. Block payloads travel raw: they are dense after compositing,
 // and the paper's composition-time figures exclude the gather as a common
-// cost across all methods.
-func gather(c comm.Comm, st *fragstore.Store, root, w, h int) (*raster.Image, error) {
-	var seq comm.Sequencer
+// cost across all methods. With a compose-partial policy a rank whose
+// blocks never arrive leaves its pixels blank and is counted in
+// rep.MissingGathers instead of stalling the root forever.
+func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, w, h int) (*raster.Image, error) {
+	root := opts.GatherRoot
 	var buf []byte
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
@@ -250,16 +369,35 @@ func gather(c comm.Comm, st *fragstore.Store, root, w, h int) (*raster.Image, er
 		put(uint64(b.Index))
 		buf = append(buf, st.Frags(b)[0].Data...)
 	}
-	parts, err := comm.Gather(c, &seq, root, buf)
-	if err != nil {
-		return nil, err
-	}
 	if c.Rank() != root {
+		if err := c.Send(root, tagGatherFinal, buf); err != nil {
+			if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
+				rep.Degraded = true
+				rep.MissingGathers++
+				return nil, nil
+			}
+			return nil, fmt.Errorf("compositor: gather send: %w", err)
+		}
 		return nil, nil
 	}
 	out := raster.New(w, h)
 	covered := 0
-	for r, part := range parts {
+	for r := 0; r < c.Size(); r++ {
+		var part []byte
+		if r == root {
+			part = buf
+		} else {
+			var err error
+			part, err = c.RecvTimeout(r, tagGatherFinal, opts.RecvTimeout)
+			if err != nil {
+				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
+					rep.Degraded = true
+					rep.MissingGathers++
+					continue
+				}
+				return nil, fmt.Errorf("compositor: gather from rank %d: %w", r, err)
+			}
+		}
 		nblocks, off := binary.Uvarint(part)
 		if off <= 0 {
 			return nil, fmt.Errorf("compositor: corrupt gather payload from rank %d", r)
@@ -285,7 +423,7 @@ func gather(c comm.Comm, st *fragstore.Store, root, w, h int) (*raster.Image, er
 			covered += span.Len()
 		}
 	}
-	if covered != w*h {
+	if covered != w*h && !rep.Degraded {
 		return nil, fmt.Errorf("compositor: gathered blocks cover %d of %d pixels", covered, w*h)
 	}
 	return out, nil

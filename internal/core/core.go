@@ -146,6 +146,27 @@ type Config struct {
 	// "1d" (default, depth slabs — rank order is depth order) or "2d"
 	// (image-space tiles with disjoint footprints).
 	Partition string
+	// RecvTimeout bounds every composition receive; zero waits forever.
+	RecvTimeout time.Duration
+	// OnMissing selects the degradation policy for missing contributions:
+	// "fail" (default, abort with a typed error) or "partial" (substitute
+	// blank tiles and flag the result).
+	OnMissing string
+}
+
+// compositeOptions resolves the fault-tolerance fields into compositor
+// options rooted at rank 0.
+func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) {
+	policy, err := compositor.ParsePolicy(cfg.OnMissing)
+	if err != nil {
+		return compositor.Options{}, err
+	}
+	return compositor.Options{
+		Codec:       cdc,
+		GatherRoot:  0,
+		RecvTimeout: cfg.RecvTimeout,
+		OnMissing:   policy,
+	}, nil
 }
 
 // renderCtx carries the per-frame render state shared by all ranks.
@@ -251,7 +272,11 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 			return err
 		}
 		renderTimes[c.Rank()] = time.Since(t0)
-		img, rep, err := compositor.Run(c, sched, partial, compositor.Options{Codec: cdc, GatherRoot: 0})
+		copts, err := cfg.compositeOptions(cdc)
+		if err != nil {
+			return err
+		}
+		img, rep, err := compositor.Run(c, sched, partial, copts)
 		if err != nil {
 			return err
 		}
@@ -321,7 +346,11 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if err != nil {
 		return nil, nil, err
 	}
-	inter, rep, err := compositor.Run(c, sched, partial, compositor.Options{Codec: cdc, GatherRoot: 0})
+	copts, err := cfg.compositeOptions(cdc)
+	if err != nil {
+		return nil, nil, err
+	}
+	inter, rep, err := compositor.Run(c, sched, partial, copts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -113,6 +113,46 @@ func (st *Store) Blocks() []schedule.Block {
 	return blocks
 }
 
+// FillGaps completes every held block to the full rank range [0, p) by
+// splicing in blank fragments for the rank intervals that never arrived —
+// the compose-partial degradation path. Blank pixels are the identity of
+// the over operator, so the result is the exact composite of the
+// contributions that did arrive. It returns the number of missing
+// layer-pixels (pixels times absent ranks), zero when nothing was missing.
+func (st *Store) FillGaps(p int) (missingLayerPix int64, err error) {
+	full := schedule.RankRange{Lo: 0, Hi: p}
+	for b, frags := range st.held {
+		if len(frags) == 1 && frags[0].Rng == full {
+			continue
+		}
+		span := b.Span(st.tiles)
+		nbytes := span.Len() * raster.BytesPerPixel
+		sort.Slice(frags, func(i, j int) bool { return frags[i].Rng.Lo < frags[j].Rng.Lo })
+		filled := make([]Fragment, 0, 2*len(frags)+1)
+		next := 0
+		for _, f := range frags {
+			if f.Rng.Lo > next {
+				gap := schedule.RankRange{Lo: next, Hi: f.Rng.Lo}
+				missingLayerPix += int64(span.Len()) * int64(gap.Len())
+				filled = append(filled, Fragment{Rng: gap, Data: make([]byte, nbytes)})
+			}
+			filled = append(filled, f)
+			next = f.Rng.Hi
+		}
+		if next < p {
+			gap := schedule.RankRange{Lo: next, Hi: p}
+			missingLayerPix += int64(span.Len()) * int64(gap.Len())
+			filled = append(filled, Fragment{Rng: gap, Data: make([]byte, nbytes)})
+		}
+		merged, _, err := MergeFragments(filled)
+		if err != nil {
+			return missingLayerPix, fmt.Errorf("fragstore: filling gaps of block %v on rank %d: %w", b, st.rank, err)
+		}
+		st.held[b] = merged
+	}
+	return missingLayerPix, nil
+}
+
 // CheckComplete verifies every held block is fully composited over all p
 // ranks.
 func (st *Store) CheckComplete(p int) error {

@@ -7,6 +7,7 @@ package inproc
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"rtcomp/internal/comm"
 	"rtcomp/internal/transport/mbox"
@@ -40,8 +41,10 @@ func (f *Fabric) Endpoint(r int) comm.Comm {
 }
 
 type endpoint struct {
-	fabric   *Fabric
-	rank     int
+	fabric *Fabric
+	rank   int
+
+	mu       sync.Mutex // counters may be bumped by delayed-delivery goroutines
 	counters comm.Counters
 }
 
@@ -62,29 +65,51 @@ func (e *endpoint) Send(to, tag int, payload []byte) error {
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf}); err != nil {
+		if errors.Is(err, mbox.ErrClosed) {
+			// The destination rank has shut down its endpoint: that is a
+			// peer failure, typed the same way the TCP fabric types it.
+			return &comm.PeerError{Rank: to, Err: err}
+		}
 		return err
 	}
+	e.mu.Lock()
 	e.counters.MsgsSent++
 	e.counters.BytesSent += int64(len(payload))
+	e.mu.Unlock()
 	return nil
 }
 
 // Recv implements comm.Comm.
 func (e *endpoint) Recv(from, tag int) ([]byte, error) {
+	return e.RecvTimeout(from, tag, 0)
+}
+
+// RecvTimeout implements comm.Comm.
+func (e *endpoint) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
 	if from < 0 || from >= e.fabric.size {
 		return nil, errors.New("inproc: source rank out of range")
 	}
-	payload, err := e.fabric.boxes[e.rank].Get(from, tag)
+	payload, err := e.fabric.boxes[e.rank].GetUntil(from, tag, deadlineFor(timeout))
 	if err != nil {
+		if errors.Is(err, mbox.ErrTimeout) {
+			err = &comm.DeadlineError{Rank: e.rank, Keys: []comm.MsgKey{{From: from, Tag: tag}}, Timeout: timeout}
+		}
 		return nil, err
 	}
+	e.mu.Lock()
 	e.counters.MsgsRecv++
 	e.counters.BytesRecv += int64(len(payload))
+	e.mu.Unlock()
 	return payload, nil
 }
 
 // RecvAny implements comm.Comm.
 func (e *endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	return e.RecvAnyTimeout(keys, 0)
+}
+
+// RecvAnyTimeout implements comm.Comm.
+func (e *endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
 	mk := make([]mbox.Key, len(keys))
 	for i, k := range keys {
 		if k.From < 0 || k.From >= e.fabric.size {
@@ -92,17 +117,35 @@ func (e *endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
 		}
 		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
 	}
-	msg, err := e.fabric.boxes[e.rank].GetAny(mk)
+	msg, err := e.fabric.boxes[e.rank].GetAnyUntil(mk, deadlineFor(timeout))
 	if err != nil {
+		if errors.Is(err, mbox.ErrTimeout) {
+			err = &comm.DeadlineError{Rank: e.rank, Keys: keys, Timeout: timeout}
+		}
 		return 0, 0, nil, err
 	}
+	e.mu.Lock()
 	e.counters.MsgsRecv++
 	e.counters.BytesRecv += int64(len(msg.Payload))
+	e.mu.Unlock()
 	return msg.From, msg.Tag, msg.Payload, nil
 }
 
+// deadlineFor converts a relative timeout into the mailbox's absolute
+// deadline convention (zero = wait forever).
+func deadlineFor(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}
+
 // Counters implements comm.Comm.
-func (e *endpoint) Counters() comm.Counters { return e.counters }
+func (e *endpoint) Counters() comm.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters
+}
 
 // Close implements comm.Comm.
 func (e *endpoint) Close() error {

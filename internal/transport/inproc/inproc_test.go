@@ -70,6 +70,11 @@ func TestBarrierAllRanks(t *testing.T) {
 						return fmt.Errorf("rank %d saw rank %d lagging at round %d", c.Rank(), r, round)
 					}
 				}
+				// Second barrier: no rank may advance to the next round's
+				// write while a peer is still reading this round's phases.
+				if err := comm.Barrier(c, &seq); err != nil {
+					return err
+				}
 			}
 			return nil
 		})

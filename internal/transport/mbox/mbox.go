@@ -7,6 +7,7 @@ package mbox
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // Message is one stored message.
@@ -36,6 +37,11 @@ func New() *Mailbox {
 // ErrClosed is reported by operations on a closed mailbox.
 var ErrClosed = errors.New("mbox: mailbox closed")
 
+// ErrTimeout is reported by GetUntil/GetAnyUntil when the deadline elapses
+// before a matching message arrives. The message, should it arrive later,
+// stays retrievable.
+var ErrTimeout = errors.New("mbox: receive timed out")
+
 // Put stores a message, waking any waiting Get.
 func (m *Mailbox) Put(msg Message) error {
 	m.mu.Lock()
@@ -51,6 +57,14 @@ func (m *Mailbox) Put(msg Message) error {
 // Get blocks until a message with the given source and tag is available and
 // removes and returns its payload.
 func (m *Mailbox) Get(from, tag int) ([]byte, error) {
+	return m.GetUntil(from, tag, time.Time{})
+}
+
+// GetUntil is Get with a deadline: once the deadline passes without a match
+// it returns ErrTimeout. A zero deadline waits forever.
+func (m *Mailbox) GetUntil(from, tag int, deadline time.Time) ([]byte, error) {
+	stop := m.wakeAt(deadline)
+	defer stop()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -66,6 +80,9 @@ func (m *Mailbox) Get(from, tag int) ([]byte, error) {
 		if err := m.srcErr[from]; err != nil {
 			return nil, err
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
 		m.cond.Wait()
 	}
 }
@@ -79,10 +96,18 @@ type Key struct {
 // returns it — the arrival-order receive used to avoid head-of-line
 // blocking when several messages are outstanding.
 func (m *Mailbox) GetAny(keys []Key) (Message, error) {
+	return m.GetAnyUntil(keys, time.Time{})
+}
+
+// GetAnyUntil is GetAny with a deadline: once the deadline passes without a
+// match it returns ErrTimeout. A zero deadline waits forever.
+func (m *Mailbox) GetAnyUntil(keys []Key, deadline time.Time) (Message, error) {
 	want := make(map[Key]bool, len(keys))
 	for _, k := range keys {
 		want[k] = true
 	}
+	stop := m.wakeAt(deadline)
+	defer stop()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -100,8 +125,26 @@ func (m *Mailbox) GetAny(keys []Key) (Message, error) {
 				return Message{}, err
 			}
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return Message{}, ErrTimeout
+		}
 		m.cond.Wait()
 	}
+}
+
+// wakeAt arranges a Broadcast when the deadline passes, so a Get blocked in
+// cond.Wait re-checks and observes the timeout. It returns a stop function;
+// a zero deadline is a no-op.
+func (m *Mailbox) wakeAt(deadline time.Time) func() {
+	if deadline.IsZero() {
+		return func() {}
+	}
+	t := time.AfterFunc(time.Until(deadline), func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	return func() { t.Stop() }
 }
 
 // Fail marks one source as dead: pending messages from it stay retrievable,

@@ -1,18 +1,21 @@
 // Package tcpnet implements the comm.Comm fabric over raw TCP sockets — the
 // hand-rolled message-passing substrate standing in for the SP2's MPL/MPI
 // layer. Every pair of ranks shares one TCP connection carrying
-// length-prefixed frames with a tag header; a reader goroutine per
-// connection feeds a tag-matching mailbox.
+// length-prefixed frames with a tag header and a CRC-32C payload checksum; a
+// reader goroutine per connection feeds a tag-matching mailbox.
 //
 // Topology: rank i listens on Addrs[i]; every rank j dials every rank i < j
-// and announces itself with an 8-byte rank handshake, so the full mesh
-// needs P*(P-1)/2 connections.
+// and announces itself with a magic+rank handshake, so the full mesh needs
+// P*(P-1)/2 connections. Dial and handshake are retried with exponential
+// backoff until the mesh deadline; a peer that never appears produces a
+// rank-attributed error, never a silent hang.
 package tcpnet
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -30,11 +33,30 @@ type Config struct {
 	Addrs []string
 	// DialTimeout bounds the whole mesh setup. Zero means 30s.
 	DialTimeout time.Duration
+	// HandshakeTimeout bounds one connection's handshake exchange, so a
+	// silent or stray connection cannot stall the accept loop. Zero means
+	// 10s (clamped to the mesh deadline).
+	HandshakeTimeout time.Duration
+	// DialBackoff is the initial retry backoff after a failed dial or
+	// handshake; it doubles per attempt up to 64x. Zero means 10ms.
+	DialBackoff time.Duration
+	// Logf, when non-nil, receives per-peer mesh setup progress (dial
+	// attempts, handshakes, stragglers) — the observable heartbeat that
+	// distinguishes a slow peer from a dead one.
+	Logf func(format string, args ...any)
 }
 
 // maxFrame bounds a single message payload (64 MiB), protecting against
 // corrupt length headers.
 const maxFrame = 64 << 20
+
+// handshakeMagic opens every mesh handshake; a connection that does not
+// present it (a port scanner, a stale peer from another protocol version)
+// is rejected with a clear error instead of being mistaken for a rank.
+var handshakeMagic = [4]byte{'R', 'T', 'C', '2'}
+
+// crcTable is the Castagnoli polynomial table used for frame checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Endpoint is the TCP-backed communicator endpoint.
 type Endpoint struct {
@@ -67,6 +89,21 @@ func Start(cfg Config) (*Endpoint, error) {
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
+	hsTimeout := cfg.HandshakeTimeout
+	if hsTimeout == 0 {
+		hsTimeout = 10 * time.Second
+	}
+	if hsTimeout > timeout {
+		hsTimeout = timeout
+	}
+	backoff := cfg.DialBackoff
+	if backoff == 0 {
+		backoff = 10 * time.Millisecond
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	deadline := time.Now().Add(timeout)
 
 	ep := &Endpoint{
@@ -84,8 +121,11 @@ func Start(cfg Config) (*Endpoint, error) {
 		return nil, fmt.Errorf("tcpnet: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
 	}
 	ep.ln = ln
+	logf("tcpnet: rank %d listening on %s, waiting for ranks %d..%d", cfg.Rank, ln.Addr(), cfg.Rank+1, p-1)
 
-	// Accept connections from higher ranks in the background.
+	// Accept connections from higher ranks in the background. A stray or
+	// silent connection is rejected after the handshake timeout without
+	// consuming a peer slot.
 	type accepted struct {
 		peer int
 		conn net.Conn
@@ -94,39 +134,42 @@ func Start(cfg Config) (*Endpoint, error) {
 	wantAccepts := p - 1 - cfg.Rank
 	acceptCh := make(chan accepted, wantAccepts)
 	go func() {
-		for i := 0; i < wantAccepts; i++ {
+		seen := make(map[int]bool)
+		for got := 0; got < wantAccepts; {
 			c, err := ln.Accept()
 			if err != nil {
 				acceptCh <- accepted{err: err}
 				return
 			}
-			var hdr [8]byte
-			if _, err := io.ReadFull(c, hdr[:]); err != nil {
-				acceptCh <- accepted{err: fmt.Errorf("handshake read: %w", err)}
-				return
+			peer, err := readHandshake(c, p, hsTimeout)
+			switch {
+			case err != nil:
+				logf("tcpnet: rank %d rejected connection from %s: %v", cfg.Rank, c.RemoteAddr(), err)
+				c.Close()
+				continue
+			case peer <= cfg.Rank || seen[peer]:
+				logf("tcpnet: rank %d rejected duplicate/invalid handshake from rank %d", cfg.Rank, peer)
+				c.Close()
+				continue
 			}
-			peer := int(binary.BigEndian.Uint64(hdr[:]))
-			if peer <= cfg.Rank || peer >= p {
-				acceptCh <- accepted{err: fmt.Errorf("handshake from invalid rank %d", peer)}
-				return
-			}
+			seen[peer] = true
+			got++
+			logf("tcpnet: rank %d accepted rank %d (%d/%d)", cfg.Rank, peer, got, wantAccepts)
 			acceptCh <- accepted{peer: peer, conn: c}
 		}
 	}()
 
-	// Dial lower ranks, retrying until their listeners are up.
+	// Dial lower ranks, retrying dial and handshake with exponential
+	// backoff until their listeners are up or the mesh deadline passes.
 	for peer := 0; peer < cfg.Rank; peer++ {
-		conn, err := dialWithRetry(cfg.Addrs[peer], deadline)
+		logf("tcpnet: rank %d dialing rank %d at %s", cfg.Rank, peer, cfg.Addrs[peer])
+		conn, attempts, err := dialHandshake(cfg.Addrs[peer], cfg.Rank, backoff, deadline)
 		if err != nil {
 			ep.Close()
-			return nil, fmt.Errorf("tcpnet: rank %d dial rank %d: %w", cfg.Rank, peer, err)
+			return nil, fmt.Errorf("tcpnet: rank %d dial rank %d (%s, %d attempts): %w",
+				cfg.Rank, peer, cfg.Addrs[peer], attempts, err)
 		}
-		var hdr [8]byte
-		binary.BigEndian.PutUint64(hdr[:], uint64(cfg.Rank))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			ep.Close()
-			return nil, fmt.Errorf("tcpnet: rank %d handshake to %d: %w", cfg.Rank, peer, err)
-		}
+		logf("tcpnet: rank %d connected to rank %d after %d attempt(s)", cfg.Rank, peer, attempts)
 		ep.conns[peer] = &peerConn{c: conn}
 	}
 
@@ -140,7 +183,8 @@ func Start(cfg Config) (*Endpoint, error) {
 			ep.conns[a.peer] = &peerConn{c: a.conn}
 		case <-time.After(time.Until(deadline)):
 			ep.Close()
-			return nil, fmt.Errorf("tcpnet: rank %d timed out waiting for peers", cfg.Rank)
+			return nil, fmt.Errorf("tcpnet: rank %d timed out after %v waiting for rank(s) %v",
+				cfg.Rank, timeout, ep.missingPeers())
 		}
 	}
 
@@ -152,50 +196,114 @@ func Start(cfg Config) (*Endpoint, error) {
 	return ep, nil
 }
 
-func dialWithRetry(addr string, deadline time.Time) (net.Conn, error) {
+// missingPeers lists the ranks with no established connection (self
+// excluded) — the culprits named by a mesh setup timeout.
+func (e *Endpoint) missingPeers() []int {
+	var missing []int
+	for r, pc := range e.conns {
+		if r != e.rank && pc == nil {
+			missing = append(missing, r)
+		}
+	}
+	return missing
+}
+
+// readHandshake validates one inbound connection's magic+rank announcement
+// under a read deadline.
+func readHandshake(c net.Conn, p int, timeout time.Duration) (int, error) {
+	c.SetReadDeadline(time.Now().Add(timeout))
+	defer c.SetReadDeadline(time.Time{})
+	var hdr [12]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, fmt.Errorf("handshake read: %w", err)
+	}
+	if [4]byte(hdr[:4]) != handshakeMagic {
+		return 0, fmt.Errorf("handshake magic %q is not %q", hdr[:4], handshakeMagic[:])
+	}
+	peer := int(binary.BigEndian.Uint64(hdr[4:]))
+	if peer < 0 || peer >= p {
+		return 0, fmt.Errorf("handshake from invalid rank %d", peer)
+	}
+	return peer, nil
+}
+
+// dialHandshake dials addr and writes this rank's handshake, retrying both
+// stages with exponential backoff (doubling, capped at 64x the initial
+// backoff) until the deadline. It reports how many attempts were made.
+func dialHandshake(addr string, rank int, backoff time.Duration, deadline time.Time) (net.Conn, int, error) {
+	var hdr [12]byte
+	copy(hdr[:4], handshakeMagic[:])
+	binary.BigEndian.PutUint64(hdr[4:], uint64(rank))
+	maxBackoff := 64 * backoff
 	var lastErr error
-	for {
+	for attempt := 1; ; attempt++ {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			if lastErr == nil {
 				lastErr = errors.New("deadline exceeded")
 			}
-			return nil, lastErr
+			return nil, attempt - 1, lastErr
 		}
 		c, err := net.DialTimeout("tcp", addr, remaining)
 		if err == nil {
 			if tc, ok := c.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
 			}
-			return c, nil
+			c.SetWriteDeadline(deadline)
+			_, err = c.Write(hdr[:])
+			c.SetWriteDeadline(time.Time{})
+			if err == nil {
+				return c, attempt, nil
+			}
+			err = fmt.Errorf("handshake write: %w", err)
+			c.Close()
 		}
 		lastErr = err
-		time.Sleep(10 * time.Millisecond)
+		sleep := backoff
+		if remaining < sleep {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
 	}
 }
 
 // Frame layout: 8-byte tag (two's complement int64), 4-byte payload length,
-// payload bytes.
-const frameHeader = 12
+// 4-byte CRC-32C over tag, length and payload.
+const frameHeader = 16
 
 func (e *Endpoint) readLoop(peer int, c net.Conn) {
+	fail := func(err error) {
+		// A dead peer only poisons receives from that peer; already
+		// delivered messages and other connections stay live.
+		e.box.Fail(peer, &comm.PeerError{Rank: peer, Err: err})
+	}
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			// A dead peer only poisons receives from that peer; already
-			// delivered messages and other connections stay live.
-			e.box.Fail(peer, fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
 			return
 		}
 		tag := int(int64(binary.BigEndian.Uint64(hdr[:8])))
-		n := binary.BigEndian.Uint32(hdr[8:])
+		n := binary.BigEndian.Uint32(hdr[8:12])
+		want := binary.BigEndian.Uint32(hdr[12:16])
 		if n > maxFrame {
-			e.box.Fail(peer, fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame))
+			fail(fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame))
 			return
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(c, payload); err != nil {
-			e.box.Fail(peer, fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			return
+		}
+		// The byte stream cannot be resynchronised after a bad frame, so a
+		// checksum mismatch poisons the whole connection.
+		got := crc32.Update(crc32.Checksum(hdr[:12], crcTable), crcTable, payload)
+		if got != want {
+			fail(fmt.Errorf("tcpnet: frame CRC mismatch from rank %d (tag %d, %d bytes): got %08x want %08x",
+				peer, tag, n, got, want))
 			return
 		}
 		if err := e.box.Put(mbox.Message{From: peer, Tag: tag, Payload: payload}); err != nil {
@@ -226,11 +334,13 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	binary.BigEndian.PutUint64(frame[:8], uint64(int64(tag)))
 	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
 	copy(frame[frameHeader:], payload)
+	crc := crc32.Update(crc32.Checksum(frame[:12], crcTable), crcTable, payload)
+	binary.BigEndian.PutUint32(frame[12:16], crc)
 	pc.mu.Lock()
 	_, err := pc.c.Write(frame)
 	pc.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("tcpnet: send to rank %d: %w", to, err)
+		return &comm.PeerError{Rank: to, Err: fmt.Errorf("tcpnet: send to rank %d: %w", to, err)}
 	}
 	e.mu.Lock()
 	e.counters.MsgsSent++
@@ -241,11 +351,19 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 
 // Recv implements comm.Comm.
 func (e *Endpoint) Recv(from, tag int) ([]byte, error) {
+	return e.RecvTimeout(from, tag, 0)
+}
+
+// RecvTimeout implements comm.Comm.
+func (e *Endpoint) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
 	if from < 0 || from >= e.size || from == e.rank {
 		return nil, fmt.Errorf("tcpnet: invalid source rank %d", from)
 	}
-	payload, err := e.box.Get(from, tag)
+	payload, err := e.box.GetUntil(from, tag, deadlineFor(timeout))
 	if err != nil {
+		if errors.Is(err, mbox.ErrTimeout) {
+			err = &comm.DeadlineError{Rank: e.rank, Keys: []comm.MsgKey{{From: from, Tag: tag}}, Timeout: timeout}
+		}
 		return nil, err
 	}
 	e.mu.Lock()
@@ -257,6 +375,11 @@ func (e *Endpoint) Recv(from, tag int) ([]byte, error) {
 
 // RecvAny implements comm.Comm.
 func (e *Endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	return e.RecvAnyTimeout(keys, 0)
+}
+
+// RecvAnyTimeout implements comm.Comm.
+func (e *Endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
 	mk := make([]mbox.Key, len(keys))
 	for i, k := range keys {
 		if k.From < 0 || k.From >= e.size || k.From == e.rank {
@@ -264,8 +387,11 @@ func (e *Endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
 		}
 		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
 	}
-	msg, err := e.box.GetAny(mk)
+	msg, err := e.box.GetAnyUntil(mk, deadlineFor(timeout))
 	if err != nil {
+		if errors.Is(err, mbox.ErrTimeout) {
+			err = &comm.DeadlineError{Rank: e.rank, Keys: keys, Timeout: timeout}
+		}
 		return 0, 0, nil, err
 	}
 	e.mu.Lock()
@@ -273,6 +399,15 @@ func (e *Endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
 	e.counters.BytesRecv += int64(len(msg.Payload))
 	e.mu.Unlock()
 	return msg.From, msg.Tag, msg.Payload, nil
+}
+
+// deadlineFor converts a relative timeout into the mailbox's absolute
+// deadline convention (zero = wait forever).
+func deadlineFor(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
 }
 
 // Counters implements comm.Comm.
