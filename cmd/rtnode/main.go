@@ -10,11 +10,18 @@
 // process but still moves every byte through loopback TCP sockets:
 //
 //	rtnode -local 4 -dataset engine -method 2nrt:4 -o engine.png
+//
+// Observability: -trace-out writes the run's per-rank telemetry spans as
+// Chrome trace-event JSON (open in chrome://tracing or Perfetto), rank 0
+// prints the cross-rank per-step timing/bytes table, and -debug-addr
+// serves live /metrics (Prometheus text), /debug/vars and /debug/pprof
+// while the node runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -25,29 +32,33 @@ import (
 	"rtcomp/internal/core"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/shearwarp"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/trace"
 	"rtcomp/internal/transport/tcpnet"
 )
 
 func main() {
 	var (
-		rank    = flag.Int("rank", -1, "this process's rank (multi-process mode)")
-		addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
-		local   = flag.Int("local", 0, "run P ranks in-process over loopback TCP")
-		dataset = flag.String("dataset", "engine", "phantom dataset")
-		volN    = flag.Int("voln", 128, "phantom resolution")
-		method  = flag.String("method", "nrt:4", "composition method")
-		cdc     = flag.String("codec", "trle", "wire codec")
-		size    = flag.Int("size", 512, "final image edge in pixels")
-		yaw     = flag.Float64("yaw", 0.35, "camera yaw in radians")
-		pitch   = flag.Float64("pitch", 0.2, "camera pitch in radians")
-		out     = flag.String("o", "out.png", "output file on rank 0 (.png or .pgm)")
-		accel   = flag.Bool("accel", false, "enable the opacity-coherence render acceleration")
-		rle     = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
-		part    = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
-		timeout = flag.Duration("timeout", 30*time.Second, "mesh setup timeout")
-		recvTO  = flag.Duration("recv-timeout", 0, "composition receive deadline (0 = wait forever)")
-		missing = flag.String("on-missing", "fail", "policy for missing contributions: fail or partial")
-		quiet   = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
+		rank      = flag.Int("rank", -1, "this process's rank (multi-process mode)")
+		addrs     = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		local     = flag.Int("local", 0, "run P ranks in-process over loopback TCP")
+		dataset   = flag.String("dataset", "engine", "phantom dataset")
+		volN      = flag.Int("voln", 128, "phantom resolution")
+		method    = flag.String("method", "nrt:4", "composition method")
+		cdc       = flag.String("codec", "trle", "wire codec")
+		size      = flag.Int("size", 512, "final image edge in pixels")
+		yaw       = flag.Float64("yaw", 0.35, "camera yaw in radians")
+		pitch     = flag.Float64("pitch", 0.2, "camera pitch in radians")
+		out       = flag.String("o", "out.png", "output file on rank 0 (.png or .pgm)")
+		accel     = flag.Bool("accel", false, "enable the opacity-coherence render acceleration")
+		rle       = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
+		part      = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "mesh setup timeout")
+		recvTO    = flag.Duration("recv-timeout", 0, "composition receive deadline (0 = wait forever)")
+		missing   = flag.String("on-missing", "fail", "policy for missing contributions: fail or partial")
+		quiet     = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
+		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added)")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -57,6 +68,16 @@ func main() {
 	}
 	if _, err := compositor.ParsePolicy(*missing); err != nil {
 		fatal(err)
+	}
+	rec := telemetry.New()
+	if *debugAddr != "" {
+		srv := telemetry.NewServer(*debugAddr, telemetry.Mux(rec))
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "rtnode: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rtnode: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", *debugAddr)
 	}
 	mkConfig := func(p int) core.Config {
 		return core.Config{
@@ -73,11 +94,12 @@ func main() {
 			Partition:   *part,
 			RecvTimeout: *recvTO,
 			OnMissing:   *missing,
+			Telemetry:   rec,
 		}
 	}
 
 	if *local > 0 {
-		if err := runLocal(*local, mkConfig(*local), *out, *timeout); err != nil {
+		if err := runLocal(*local, mkConfig(*local), rec, *out, *traceOut, *timeout); err != nil {
 			fatal(err)
 		}
 		return
@@ -92,6 +114,7 @@ func main() {
 		Addrs:       list,
 		DialTimeout: *timeout,
 		Logf:        meshLogf(*quiet),
+		Telemetry:   rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -104,6 +127,7 @@ func main() {
 	warnDegraded(rep)
 	fmt.Printf("rank %d: %d msgs sent, %d bytes sent, %d over-pixels\n",
 		*rank, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels)
+	fmt.Printf("rank %d comm: %s\n", *rank, rep.Comm)
 	// Cluster-wide totals, reduced to rank 0 over the same sockets.
 	var seq comm.Sequencer
 	totals, err := comm.ReduceSum(ep, &seq, 0,
@@ -114,6 +138,23 @@ func main() {
 	if totals != nil {
 		fmt.Printf("cluster totals: %d msgs, %d bytes, %d over-pixels\n",
 			totals[0], totals[1], totals[2])
+	}
+	// Cross-rank telemetry: every rank ships its summary to rank 0, which
+	// prints the per-step timing/bytes table.
+	summaries, err := telemetry.GatherSummaries(ep, &seq, 0, rec.Summary(*rank))
+	if err != nil {
+		fatal(err)
+	}
+	if summaries != nil {
+		fmt.Println()
+		fmt.Print(telemetry.StepTable(summaries))
+	}
+	if *traceOut != "" {
+		path := rankedPath(*traceOut, *rank)
+		if err := writeTrace(rec, path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rank %d wrote %s — open in chrome://tracing or ui.perfetto.dev\n", *rank, path)
 	}
 	if img != nil {
 		if err := writeImage(img, *out); err != nil {
@@ -141,11 +182,11 @@ func warnDegraded(rep *compositor.Report) {
 		return
 	}
 	fmt.Fprintf(os.Stderr,
-		"rtnode: WARNING: rank %d composed a DEGRADED image: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s)\n",
-		rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers)
+		"rtnode: WARNING: rank %d composed a DEGRADED image: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s); comm: %s\n",
+		rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers, rep.Comm)
 }
 
-func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
+func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut string, timeout time.Duration) error {
 	addrs, err := tcpnet.LoopbackAddrs(p)
 	if err != nil {
 		return err
@@ -158,7 +199,7 @@ func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: timeout})
+			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: timeout, Telemetry: rec})
 			if err != nil {
 				errs[r] = fmt.Errorf("mesh setup: %w", err)
 				return
@@ -170,7 +211,8 @@ func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 				return
 			}
 			warnDegraded(rep)
-			fmt.Printf("rank %d: %d msgs, %d bytes over TCP\n", r, rep.Comm.MsgsSent, rep.Comm.BytesSent)
+			fmt.Printf("rank %d: %d msgs, %d bytes over TCP (comm: %s)\n",
+				r, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.Comm)
 			if img != nil {
 				mu.Lock()
 				final = img
@@ -187,11 +229,43 @@ func runLocal(p int, cfg core.Config, out string, timeout time.Duration) error {
 	if final == nil {
 		return fmt.Errorf("no final image produced")
 	}
+	// All ranks share one recorder in -local mode, so the per-step table
+	// aggregates in-process without a collective.
+	fmt.Println()
+	fmt.Print(telemetry.StepTable(rec.Summaries(p)))
+	if traceOut != "" {
+		if err := writeTrace(rec, traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s — open in chrome://tracing or ui.perfetto.dev\n", traceOut)
+	}
 	if err := writeImage(final, out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%dx%d)\n", out, final.W, final.H)
 	return nil
+}
+
+// rankedPath inserts a rank suffix before the extension so P processes
+// sharing one -trace-out value on a shared filesystem do not clobber each
+// other: trace.json -> trace-r03.json.
+func rankedPath(base string, rank int) string {
+	ext := ""
+	stem := base
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		stem, ext = base[:i], base[i:]
+	}
+	return fmt.Sprintf("%s-r%02d%s", stem, rank, ext)
+}
+
+// writeTrace dumps the recorder's spans as Chrome trace-event JSON.
+func writeTrace(rec *telemetry.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteChromeSpans(f, rec.Spans())
 }
 
 func writeImage(img *raster.Image, path string) error {

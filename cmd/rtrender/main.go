@@ -21,34 +21,42 @@ import (
 	"rtcomp/internal/raster"
 	"rtcomp/internal/shearwarp"
 	"rtcomp/internal/stats"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/trace"
 	"rtcomp/internal/volume"
 	"rtcomp/internal/xfer"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "engine", "phantom dataset: engine, head, brain")
-		volN    = flag.Int("voln", 128, "phantom resolution")
-		volfile = flag.String("volfile", "", "render a saved .rtvol volume instead of a phantom")
-		tfSpec  = flag.String("tf", "", "transfer function window lo:hi:value:alpha (default: dataset preset)")
-		p       = flag.Int("p", 8, "processor (goroutine rank) count")
-		method  = flag.String("method", "nrt:4", "composition method: bs, pp, ds, tree, radixk, nrt:N, 2nrt:N, rt:N")
-		cdc     = flag.String("codec", "trle", "wire codec: raw, rle, trle, bspan")
-		size    = flag.Int("size", 512, "final image edge in pixels")
-		yaw     = flag.Float64("yaw", 0.35, "camera yaw in radians")
-		pitch   = flag.Float64("pitch", 0.2, "camera pitch in radians")
-		out     = flag.String("o", "out.png", "output file (.png or .pgm)")
-		accel   = flag.Bool("accel", false, "enable the opacity-coherence render acceleration")
-		rle     = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
-		part    = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
-		frames  = flag.Int("frames", 1, "render a yaw orbit of this many frames (out-NNN suffixes)")
-		serial  = flag.Bool("serial", false, "render serially instead (reference image)")
+		dataset  = flag.String("dataset", "engine", "phantom dataset: engine, head, brain")
+		volN     = flag.Int("voln", 128, "phantom resolution")
+		volfile  = flag.String("volfile", "", "render a saved .rtvol volume instead of a phantom")
+		tfSpec   = flag.String("tf", "", "transfer function window lo:hi:value:alpha (default: dataset preset)")
+		p        = flag.Int("p", 8, "processor (goroutine rank) count")
+		method   = flag.String("method", "nrt:4", "composition method: bs, pp, ds, tree, radixk, nrt:N, 2nrt:N, rt:N")
+		cdc      = flag.String("codec", "trle", "wire codec: raw, rle, trle, bspan")
+		size     = flag.Int("size", 512, "final image edge in pixels")
+		yaw      = flag.Float64("yaw", 0.35, "camera yaw in radians")
+		pitch    = flag.Float64("pitch", 0.2, "camera pitch in radians")
+		out      = flag.String("o", "out.png", "output file (.png or .pgm)")
+		accel    = flag.Bool("accel", false, "enable the opacity-coherence render acceleration")
+		rle      = flag.Bool("rle", false, "render from a run-length encoded classified volume (fastest)")
+		part     = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
+		frames   = flag.Int("frames", 1, "render a yaw orbit of this many frames (out-NNN suffixes)")
+		serial   = flag.Bool("serial", false, "render serially instead (reference image)")
+		traceOut = flag.String("trace-out", "", "write per-rank telemetry as Chrome trace JSON (and print the per-step table)")
 	)
 	flag.Parse()
 
 	m, err := core.ParseMethod(*method)
 	if err != nil {
 		fatal(err)
+	}
+	// Telemetry stays nil (free) unless a trace was asked for.
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.New()
 	}
 	cfg := core.Config{
 		Dataset:    *dataset,
@@ -62,6 +70,7 @@ func main() {
 		Accelerate: *accel,
 		RLE:        *rle,
 		Partition:  *part,
+		Telemetry:  rec,
 	}
 
 	var vol *volume.Volume
@@ -97,6 +106,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%dx%d, %.0f%% blank)\n", path, img.W, img.H, 100*img.BlankFraction())
+	}
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(telemetry.StepTable(rec.Summaries(*p)))
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		werr := trace.WriteChromeSpans(f, rec.Spans())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wrote %s (%d spans) — open in chrome://tracing or ui.perfetto.dev\n", *traceOut, len(rec.Spans()))
 	}
 }
 

@@ -8,6 +8,9 @@
 //
 //	GET /render?dataset=&yaw=&pitch=&size=&method=&codec=  -> image/png
 //	GET /                                                  -> minimal HTML viewer
+//	GET /metrics                                           -> Prometheus text telemetry
+//	GET /debug/vars                                        -> expvar JSON
+//	GET /debug/pprof/                                      -> Go profiler endpoints
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"rtcomp/internal/core"
 	"rtcomp/internal/shearwarp"
+	"rtcomp/internal/telemetry"
 )
 
 func main() {
@@ -29,16 +33,29 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := &server{p: *p, volN: *volN}
+	srv := &server{p: *p, volN: *volN, rec: telemetry.New()}
+	// An http.Server with explicit limits, not the timeout-less
+	// http.ListenAndServe: a stalled client must not pin a handler forever.
+	hs := telemetry.NewServer(*listen, newMux(srv))
+	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3); telemetry at /metrics, /debug/vars, /debug/pprof", *listen, *p, *volN)
+	log.Fatal(hs.ListenAndServe())
+}
+
+// newMux wires the viewer endpoints and the live telemetry surface onto one
+// mux — split out of main so tests can drive the full routing table.
+func newMux(s *server) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/render", srv.render)
-	mux.HandleFunc("/", srv.index)
-	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3)", *listen, *p, *volN)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	mux.HandleFunc("/render", s.render)
+	mux.HandleFunc("/", s.index)
+	debug := telemetry.Mux(s.rec)
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	return mux
 }
 
 type server struct {
 	p, volN int
+	rec     *telemetry.Recorder // accumulates across frames; served at /metrics
 }
 
 // queryFloat parses a float query parameter with a default.
@@ -102,6 +119,7 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		Method:     method,
 		Codec:      codec,
 		Accelerate: true,
+		Telemetry:  s.rec,
 	}
 	rep, err := core.RenderParallel(cfg)
 	if err != nil {

@@ -3,7 +3,11 @@ package main
 import (
 	"image/png"
 	"net/http/httptest"
+	"regexp"
+	"strings"
 	"testing"
+
+	"rtcomp/internal/telemetry"
 )
 
 func TestRenderEndpoint(t *testing.T) {
@@ -44,6 +48,49 @@ func TestRenderEndpointRejectsBadInput(t *testing.T) {
 		if rec.Code == 200 {
 			t.Fatalf("%s accepted", q)
 		}
+	}
+}
+
+// TestMetricsEndpoint renders a frame through the full routing table, then
+// scrapes /metrics and asserts every line is well-formed Prometheus text
+// format and that the render left counters behind.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := &server{p: 2, volN: 32, rec: telemetry.New()}
+	mux := newMux(srv)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/render?dataset=engine&size=32&method=bs", nil))
+	if rec.Code != 200 {
+		t.Fatalf("render status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	comment := regexp.MustCompile(`^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !comment.MatchString(line) && !sample.MatchString(line) {
+			t.Fatalf("line does not parse as Prometheus text format: %q", line)
+		}
+	}
+	for _, want := range []string{"rtcomp_msgs_total", "rtcomp_phase_seconds_total"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %s after a render:\n%s", want, body)
+		}
+	}
+
+	// The merged debug surface must answer on both mounts.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "rtcomp") {
+		t.Fatalf("/debug/vars status %d", rec.Code)
 	}
 }
 

@@ -5,12 +5,16 @@ import (
 	"sync"
 	"time"
 
+	"os"
+
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/compose"
 	"rtcomp/internal/compositor"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/trace"
 	"rtcomp/internal/transport/faulty"
 	"rtcomp/internal/transport/inproc"
 )
@@ -33,6 +37,8 @@ type chaosConfig struct {
 	// survivors' behaviour rather than killing everyone.
 	recvTimeout time.Duration
 	onMissing   string
+	traceOut    string // write the real run's telemetry as Chrome trace JSON
+	gantt       bool   // print the per-rank span occupancy chart
 }
 
 // runChaos executes the schedule for real on the in-process fabric with
@@ -56,6 +62,8 @@ func runChaos(cc chaosConfig) error {
 	want := compose.SerialCompositeF(cc.layers)
 	const tol = 2
 
+	rec := telemetry.New()
+	plan.Telemetry = rec
 	var mu sync.Mutex
 	var final *raster.Image
 	reports := make([]*compositor.Report, p)
@@ -73,6 +81,7 @@ func runChaos(cc chaosConfig) error {
 			GatherRoot:  0,
 			RecvTimeout: cc.recvTimeout,
 			OnMissing:   policy,
+			Telemetry:   rec,
 		})
 		mu.Lock()
 		defer mu.Unlock()
@@ -116,6 +125,29 @@ func runChaos(cc chaosConfig) error {
 				rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers)
 		}
 	}
+	// The real run's telemetry: per-step timing/bytes table aggregated
+	// across ranks, optional span Gantt and Chrome trace export.
+	fmt.Println()
+	fmt.Print(telemetry.StepTable(rec.Summaries(p)))
+	if cc.gantt {
+		fmt.Println()
+		fmt.Print(trace.SpanGantt(rec.Spans(), p, 96))
+	}
+	if cc.traceOut != "" {
+		f, err := os.Create(cc.traceOut)
+		if err != nil {
+			return err
+		}
+		werr := trace.WriteChromeSpans(f, rec.Spans())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s (%d spans) — open in chrome://tracing or ui.perfetto.dev\n", cc.traceOut, len(rec.Spans()))
+	}
+
 	switch {
 	case failed > 0:
 		fmt.Printf("chaos: FAILED CLEANLY in %v — %d rank(s) returned typed errors, no hang\n", elapsed, failed)

@@ -39,6 +39,7 @@ func main() {
 		machine   = flag.String("machine", "sp2", "machine model: sp2 or paper")
 		gantt     = flag.Bool("gantt", false, "print the per-rank occupancy chart")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file")
+		traceOut  = flag.String("trace-out", "", "with -chaos: write the real run's telemetry as Chrome trace JSON (otherwise same as -trace)")
 		dotFile   = flag.String("dot", "", "write the schedule as a Graphviz digraph")
 
 		chaos     = flag.Bool("chaos", false, "run for real on the fault-injected in-process fabric")
@@ -99,11 +100,15 @@ func main() {
 			delayProb: *delayProb, maxDelay: *maxDelay,
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
 			recvTimeout: *recvTO, onMissing: *missing,
+			traceOut: *traceOut, gantt: *gantt,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *traceFile == "" {
+		*traceFile = *traceOut
 	}
 
 	res, err := simnet.Simulate(sched, layers, c, params)

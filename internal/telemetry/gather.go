@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rtcomp/internal/comm"
+)
+
+// GatherSummaries ships every rank's summary to root over the communicator
+// (one comm.Gather of JSON blobs — small, a few hundred bytes per rank) and
+// returns the per-rank summaries on root, nil elsewhere. Every rank must
+// call it at the same point of its program, like any collective.
+func GatherSummaries(c comm.Comm, seq *comm.Sequencer, root int, s Summary) ([]Summary, error) {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: marshal summary: %w", err)
+	}
+	parts, err := comm.Gather(c, seq, root, blob)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: gather summaries: %w", err)
+	}
+	if parts == nil {
+		return nil, nil
+	}
+	out := make([]Summary, len(parts))
+	for r, part := range parts {
+		if err := json.Unmarshal(part, &out[r]); err != nil {
+			return nil, fmt.Errorf("telemetry: summary from rank %d: %w", r, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteMetrics writes the recorder state in the Prometheus text exposition
+// format (version 0.0.4): per-rank counter totals as
+// rtcomp_<name>_total{rank="R"}, and per-rank per-phase span aggregates as
+// rtcomp_phase_seconds_total / rtcomp_phase_spans_total with rank and phase
+// labels. Output is sorted, so it is stable across scrapes.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, "# telemetry disabled")
+		return err
+	}
+
+	// Counter totals, aggregated over steps: metric name -> rank -> value.
+	byName := map[string]map[int]int64{}
+	for k, v := range r.Counters() {
+		m := byName[k.Name]
+		if m == nil {
+			m = map[int]int64{}
+			byName[k.Name] = m
+		}
+		m[k.Rank] += v
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "rtcomp_" + sanitizeMetric(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", metric); err != nil {
+			return err
+		}
+		ranks := sortedRanks(byName[name])
+		for _, rank := range ranks {
+			if _, err := fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", metric, rank, byName[name][rank]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Span aggregates: (rank, phase) -> total seconds and span count.
+	type key struct {
+		rank  int
+		phase string
+	}
+	secs := map[key]float64{}
+	count := map[key]int64{}
+	for _, sp := range r.Spans() {
+		k := key{sp.Rank, sp.Name}
+		secs[k] += (sp.End - sp.Start).Seconds()
+		count[k]++
+	}
+	keys := make([]key, 0, len(secs))
+	for k := range secs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].phase != keys[j].phase {
+			return keys[i].phase < keys[j].phase
+		}
+		return keys[i].rank < keys[j].rank
+	})
+	if len(keys) > 0 {
+		if _, err := fmt.Fprintln(w, "# TYPE rtcomp_phase_seconds_total counter"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "rtcomp_phase_seconds_total{rank=\"%d\",phase=%q} %g\n",
+				k.rank, sanitizeMetric(k.phase), secs[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "# TYPE rtcomp_phase_spans_total counter"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "rtcomp_phase_spans_total{rank=\"%d\",phase=%q} %d\n",
+				k.rank, sanitizeMetric(k.phase), count[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeMetric maps an arbitrary counter name onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_].
+func sanitizeMetric(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			return c
+		}
+		return '_'
+	}, name)
+}
+
+func sortedRanks(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"rtcomp/internal/stats"
+)
+
+// StepTable merges per-rank summaries into the per-step timing/bytes table
+// printed at rank 0: one row per composition step with the phase durations
+// summed across ranks, the message count, and the raw/wire byte volume with
+// its compression ratio, plus a totals row. Whole-run phases (render,
+// gather, warp) and run-level counters land in the footnotes.
+func StepTable(summaries []Summary) *stats.Table {
+	type agg struct {
+		dur  map[string]int64 // phase name -> summed nanos
+		ctr  map[string]int64 // counter name -> summed value
+		seen bool
+	}
+	steps := map[int]*agg{}
+	at := func(step int) *agg {
+		a := steps[step]
+		if a == nil {
+			a = &agg{dur: map[string]int64{}, ctr: map[string]int64{}}
+			steps[step] = a
+		}
+		return a
+	}
+	runDur := map[string]int64{} // whole-run phase -> max nanos across ranks
+	runCtr := map[string]int64{} // run-level counter -> sum across ranks
+	for _, s := range summaries {
+		for _, ph := range s.Phases {
+			if ph.Step == StepNone {
+				if ph.Nanos > runDur[ph.Name] {
+					runDur[ph.Name] = ph.Nanos
+				}
+				continue
+			}
+			a := at(ph.Step)
+			a.dur[ph.Name] += ph.Nanos
+			a.seen = true
+		}
+		for _, c := range s.Counters {
+			if c.Step == StepNone {
+				runCtr[c.Name] += c.Value
+				continue
+			}
+			a := at(c.Step)
+			a.ctr[c.Name] += c.Value
+			a.seen = true
+		}
+	}
+
+	order := make([]int, 0, len(steps))
+	for si := range steps {
+		order = append(order, si)
+	}
+	sort.Ints(order)
+
+	t := &stats.Table{
+		Title:   "per-step composition telemetry (phase seconds summed across ranks)",
+		Headers: []string{"step", "encode", "send", "recv", "decode", "merge", "msgs", "raw", "wire", "ratio"},
+	}
+	secs := func(ns int64) string {
+		if ns == 0 {
+			return "-"
+		}
+		return stats.Seconds(float64(ns) / 1e9)
+	}
+	totDur := map[string]int64{}
+	var totMsgs, totRaw, totWire int64
+	for _, si := range order {
+		a := steps[si]
+		if !a.seen {
+			continue
+		}
+		for _, ph := range []string{PhaseEncode, PhaseSend, PhaseRecv, PhaseDecode, PhaseMerge} {
+			totDur[ph] += a.dur[ph]
+		}
+		totMsgs += a.ctr[CtrMsgs]
+		totRaw += a.ctr[CtrRawBytes]
+		totWire += a.ctr[CtrWireBytes]
+		t.Add(fmt.Sprint(si+1),
+			secs(a.dur[PhaseEncode]), secs(a.dur[PhaseSend]), secs(a.dur[PhaseRecv]),
+			secs(a.dur[PhaseDecode]), secs(a.dur[PhaseMerge]),
+			fmt.Sprint(a.ctr[CtrMsgs]),
+			stats.IBytes(a.ctr[CtrRawBytes]), stats.IBytes(a.ctr[CtrWireBytes]),
+			stats.Ratio(a.ctr[CtrRawBytes], a.ctr[CtrWireBytes]))
+	}
+	t.Add("all",
+		secs(totDur[PhaseEncode]), secs(totDur[PhaseSend]), secs(totDur[PhaseRecv]),
+		secs(totDur[PhaseDecode]), secs(totDur[PhaseMerge]),
+		fmt.Sprint(totMsgs), stats.IBytes(totRaw), stats.IBytes(totWire),
+		stats.Ratio(totRaw, totWire))
+
+	for _, ph := range []string{PhaseRender, PhaseGather, PhaseWarp} {
+		if ns := runDur[ph]; ns > 0 {
+			t.Note("%s (slowest rank): %s", ph, stats.Seconds(float64(ns)/1e9))
+		}
+	}
+	names := make([]string, 0, len(runCtr))
+	for name := range runCtr {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := runCtr[name]; v != 0 {
+			t.Note("%s: %d", name, v)
+		}
+	}
+	return t
+}
+
+// SpanTotalSeconds sums the wall-clock duration of every recorded span with
+// the given step scope across ranks — the cross-check number that must
+// agree with the StepTable row totals (both derive from the same spans).
+func SpanTotalSeconds(spans []Span, name string) float64 {
+	var ns int64
+	for _, sp := range spans {
+		if name == "" || sp.Name == name {
+			ns += int64(sp.End - sp.Start)
+		}
+	}
+	return float64(ns) / 1e9
+}

@@ -1,0 +1,263 @@
+// Package telemetry is the runtime observability substrate of the real
+// composition pipeline: a lightweight, concurrency-safe span recorder and
+// counter registry shared by the compositor, the transports and the
+// binaries. A nil *Recorder disables recording everywhere — every method is
+// nil-receiver safe — so the hot path pays a single pointer test when
+// observability is off.
+//
+// Spans carry (rank, phase, category, step) plus timestamps relative to the
+// recorder epoch; internal/trace renders them as Chrome trace-event JSON
+// (chrome://tracing, Perfetto) or as ASCII Gantt charts. Counters carry
+// (rank, step, name) so per-step byte and message tallies can be aggregated
+// across ranks at rank 0 (see Summary, StepTable, GatherSummaries) and
+// exported live in Prometheus text format (see WriteMetrics and Mux).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span categories, mapped to trace rows: network spans share a rank's
+// network engine row, compute spans its compute engine row.
+const (
+	CatNetwork = "network"
+	CatCompute = "compute"
+)
+
+// Phase names of the instrumented pipeline. Step-scoped phases carry the
+// 0-based composition step; whole-run phases use StepNone.
+const (
+	PhaseRender = "render" // shear-warp rendering of the local partial
+	PhaseEncode = "encode" // wire-codec compression of outgoing blocks
+	PhaseSend   = "send"   // handing frames to the fabric
+	PhaseRecv   = "recv"   // waiting for + receiving inbound blocks
+	PhaseDecode = "decode" // wire-codec decompression of inbound blocks
+	PhaseMerge  = "merge"  // depth-ordered over-compositing
+	PhaseGather = "gather" // final-block gather to the root
+	PhaseWarp   = "warp"   // final image warp on the root
+)
+
+// Counter names recorded by the instrumented pipeline.
+const (
+	CtrMsgs             = "msgs"              // block messages sent (per step)
+	CtrRawBytes         = "raw_bytes"         // payload bytes before compression (per step)
+	CtrWireBytes        = "wire_bytes"        // payload bytes after compression (per step)
+	CtrOverPixels       = "over_pixels"       // pixels through the over kernel (per step)
+	CtrDeadlineHits     = "deadline_hits"     // receives that hit their deadline
+	CtrMissingTransfers = "missing_transfers" // scheduled messages that never arrived
+	CtrCommMsgsSent     = "comm_msgs_sent"    // fabric totals, from comm.Counters
+	CtrCommBytesSent    = "comm_bytes_sent"
+	CtrCommMsgsRecv     = "comm_msgs_recv"
+	CtrCommBytesRecv    = "comm_bytes_recv"
+	CtrRetransmissions  = "retransmissions" // fault-injection resend attempts
+	CtrMsgsLost         = "msgs_lost"       // messages lost after exhausting resends
+	CtrCRCRejects       = "crc_rejects"     // inbound frames discarded by checksum
+	CtrCorruptInjected  = "corrupt_injected"
+	CtrDialAttempts     = "tcp_dial_attempts" // mesh setup dials (incl. retries)
+	CtrPeerFailures     = "tcp_peer_failures" // connections poisoned mid-run
+)
+
+// StepNone marks a span or counter that is not scoped to a composition step
+// (render, warp, gather, run-level counters).
+const StepNone = -1
+
+// Span is one recorded phase execution on one rank.
+type Span struct {
+	Rank  int
+	Name  string // a Phase* constant (or any caller-chosen label)
+	Cat   string // CatNetwork or CatCompute
+	Step  int    // 0-based composition step, or StepNone
+	Start time.Duration
+	End   time.Duration
+}
+
+// CounterKey identifies one counter cell.
+type CounterKey struct {
+	Rank int
+	Step int // 0-based composition step, or StepNone
+	Name string
+}
+
+// Recorder collects spans and counters from any number of goroutines. The
+// zero value is not usable; construct with New. All methods are safe on a
+// nil receiver (they do nothing), which is how instrumented code runs with
+// telemetry disabled.
+type Recorder struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	counters map[CounterKey]int64
+}
+
+// New returns an empty recorder whose span clock starts now.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now(), counters: make(map[CounterKey]int64)}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Epoch is the instant span timestamps are relative to.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// nop is the shared no-op closure Span returns when recording is disabled,
+// keeping the disabled path allocation-free.
+var nop = func() {}
+
+// Span starts a span now and returns the function that ends and records it.
+// The returned closure must be called exactly once.
+func (r *Recorder) Span(rank int, name, cat string, step int) func() {
+	if r == nil {
+		return nop
+	}
+	start := time.Since(r.epoch)
+	return func() {
+		end := time.Since(r.epoch)
+		r.mu.Lock()
+		r.spans = append(r.spans, Span{Rank: rank, Name: name, Cat: cat, Step: step, Start: start, End: end})
+		r.mu.Unlock()
+	}
+}
+
+// Add bumps a run-level (step-less) counter.
+func (r *Recorder) Add(rank int, name string, v int64) { r.AddStep(rank, StepNone, name, v) }
+
+// AddStep bumps a per-step counter.
+func (r *Recorder) AddStep(rank, step int, name string, v int64) {
+	if r == nil || v == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[CounterKey{Rank: rank, Step: step, Name: name}] += v
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of every recorded span, ordered by start time (ties
+// by rank, then name) so output is deterministic.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Counters returns a copy of the counter registry.
+func (r *Recorder) Counters() map[CounterKey]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[CounterKey]int64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// PhaseStat aggregates the spans of one (step, phase) on one rank.
+type PhaseStat struct {
+	Step  int    `json:"step"`
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
+	Count int64  `json:"count"`
+}
+
+// CounterStat is one counter cell of a summary.
+type CounterStat struct {
+	Step  int    `json:"step"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Summary is one rank's portable telemetry digest: small enough to ship
+// through a comm.Gather to rank 0, complete enough to rebuild the per-step
+// timing/bytes table there.
+type Summary struct {
+	Rank     int           `json:"rank"`
+	Phases   []PhaseStat   `json:"phases"`
+	Counters []CounterStat `json:"counters"`
+}
+
+// Summary digests the given rank's spans and counters. On a shared
+// in-process recorder each rank extracts only its own rows, so the summary
+// a rank ships through a gather never double-counts its neighbours.
+func (r *Recorder) Summary(rank int) Summary {
+	s := Summary{Rank: rank}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	type pk struct {
+		step int
+		name string
+	}
+	phases := make(map[pk]*PhaseStat)
+	for _, sp := range r.spans {
+		if sp.Rank != rank {
+			continue
+		}
+		k := pk{sp.Step, sp.Name}
+		st := phases[k]
+		if st == nil {
+			st = &PhaseStat{Step: sp.Step, Name: sp.Name}
+			phases[k] = st
+		}
+		st.Nanos += int64(sp.End - sp.Start)
+		st.Count++
+	}
+	for k, v := range r.counters {
+		if k.Rank != rank {
+			continue
+		}
+		s.Counters = append(s.Counters, CounterStat{Step: k.Step, Name: k.Name, Value: v})
+	}
+	r.mu.Unlock()
+	for _, st := range phases {
+		s.Phases = append(s.Phases, *st)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Step != s.Phases[j].Step {
+			return s.Phases[i].Step < s.Phases[j].Step
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Step != s.Counters[j].Step {
+			return s.Counters[i].Step < s.Counters[j].Step
+		}
+		return s.Counters[i].Name < s.Counters[j].Name
+	})
+	return s
+}
+
+// Summaries digests every rank in [0, p) of a shared recorder — the
+// in-process equivalent of gathering each rank's Summary.
+func (r *Recorder) Summaries(p int) []Summary {
+	out := make([]Summary, p)
+	for rank := 0; rank < p; rank++ {
+		out[rank] = r.Summary(rank)
+	}
+	return out
+}

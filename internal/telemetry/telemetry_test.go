@@ -1,0 +1,378 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rtcomp/internal/comm"
+	"rtcomp/internal/transport/inproc"
+)
+
+// A nil recorder must be inert everywhere: instrumented code runs with
+// telemetry disabled by passing nil, so every method is exercised here.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims to be enabled")
+	}
+	if !r.Epoch().IsZero() {
+		t.Fatal("nil recorder has a non-zero epoch")
+	}
+	end := r.Span(0, PhaseRecv, CatNetwork, 0)
+	end() // must not panic
+	r.Add(0, CtrMsgs, 1)
+	r.AddStep(0, 2, CtrRawBytes, 100)
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+	if got := r.Counters(); got != nil {
+		t.Fatalf("nil recorder returned counters: %v", got)
+	}
+	s := r.Summary(3)
+	if s.Rank != 3 || len(s.Phases) != 0 || len(s.Counters) != 0 {
+		t.Fatalf("nil recorder summary not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil WriteMetrics output: %q", buf.String())
+	}
+}
+
+// TestConcurrentRecording hammers one recorder from many goroutines; run
+// under -race this is the data-race certificate for the shared-recorder
+// mode (rtserve, rtnode -local, rtsim -chaos).
+func TestConcurrentRecording(t *testing.T) {
+	const ranks, iters = 8, 200
+	r := New()
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				end := r.Span(rank, PhaseMerge, CatCompute, i%4)
+				r.AddStep(rank, i%4, CtrMsgs, 1)
+				r.Add(rank, CtrDeadlineHits, 2)
+				end()
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	if got := len(r.Spans()); got != ranks*iters {
+		t.Fatalf("recorded %d spans, want %d", got, ranks*iters)
+	}
+	var msgs, hits int64
+	for k, v := range r.Counters() {
+		switch k.Name {
+		case CtrMsgs:
+			msgs += v
+		case CtrDeadlineHits:
+			hits += v
+			if k.Step != StepNone {
+				t.Fatalf("run-level counter landed on step %d", k.Step)
+			}
+		}
+	}
+	if msgs != ranks*iters {
+		t.Fatalf("msgs counter = %d, want %d", msgs, ranks*iters)
+	}
+	if hits != 2*ranks*iters {
+		t.Fatalf("deadline counter = %d, want %d", hits, 2*ranks*iters)
+	}
+}
+
+func TestAddStepSkipsZero(t *testing.T) {
+	r := New()
+	r.AddStep(0, 0, CtrOverPixels, 0)
+	if len(r.Counters()) != 0 {
+		t.Fatal("zero increment created a counter cell")
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	r := New()
+	// End spans out of order; Spans() must come back sorted by start.
+	e1 := r.Span(1, PhaseSend, CatNetwork, 0)
+	time.Sleep(time.Millisecond)
+	e2 := r.Span(0, PhaseRecv, CatNetwork, 0)
+	e2()
+	e1()
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Rank != 1 || spans[1].Rank != 0 {
+		t.Fatalf("spans not ordered by start: %+v", spans)
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span ends before it starts: %+v", sp)
+		}
+	}
+}
+
+// On a shared in-process recorder each rank's Summary must contain only its
+// own rows — otherwise the gathered table double-counts every rank.
+func TestSummaryFiltersByRank(t *testing.T) {
+	r := New()
+	for rank := 0; rank < 3; rank++ {
+		r.Span(rank, PhaseEncode, CatCompute, 0)()
+		r.AddStep(rank, 0, CtrRawBytes, int64(100*(rank+1)))
+	}
+	for rank := 0; rank < 3; rank++ {
+		s := r.Summary(rank)
+		if s.Rank != rank {
+			t.Fatalf("summary rank = %d, want %d", s.Rank, rank)
+		}
+		if len(s.Phases) != 1 || s.Phases[0].Name != PhaseEncode || s.Phases[0].Count != 1 {
+			t.Fatalf("rank %d phases: %+v", rank, s.Phases)
+		}
+		if len(s.Counters) != 1 || s.Counters[0].Value != int64(100*(rank+1)) {
+			t.Fatalf("rank %d counters: %+v", rank, s.Counters)
+		}
+	}
+	if got := r.Summaries(3); len(got) != 3 || got[2].Rank != 2 {
+		t.Fatalf("Summaries(3) = %+v", got)
+	}
+}
+
+var (
+	promComment = regexp.MustCompile(`^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+)
+
+// checkPromText asserts every line of a /metrics payload is a well-formed
+// Prometheus text-format (0.0.4) comment or sample.
+func checkPromText(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty metrics payload")
+	}
+	for _, line := range lines {
+		if promComment.MatchString(line) || promSample.MatchString(line) {
+			continue
+		}
+		t.Fatalf("line does not parse as Prometheus text format: %q", line)
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	r := New()
+	r.AddStep(0, 0, CtrWireBytes, 512)
+	r.AddStep(1, 2, CtrWireBytes, 256)
+	r.Add(1, CtrCRCRejects, 3)
+	r.Span(0, PhaseRecv, CatNetwork, 0)()
+	r.Span(1, PhaseMerge, CatCompute, 1)()
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkPromText(t, out)
+
+	for _, want := range []string{
+		`rtcomp_wire_bytes_total{rank="0"} 512`,
+		`rtcomp_wire_bytes_total{rank="1"} 256`,
+		`rtcomp_crc_rejects_total{rank="1"} 3`,
+		`rtcomp_phase_spans_total{rank="1",phase="merge"} 1`,
+		"# TYPE rtcomp_wire_bytes_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic across scrapes of an unchanged recorder.
+	var buf2 bytes.Buffer
+	if err := r.WriteMetrics(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("two scrapes of an unchanged recorder differ")
+	}
+}
+
+func TestStepTable(t *testing.T) {
+	summaries := []Summary{
+		{
+			Rank: 0,
+			Phases: []PhaseStat{
+				{Step: StepNone, Name: PhaseRender, Nanos: 5e8, Count: 1},
+				{Step: 0, Name: PhaseEncode, Nanos: 2e6, Count: 2},
+				{Step: 0, Name: PhaseRecv, Nanos: 4e6, Count: 2},
+			},
+			Counters: []CounterStat{
+				{Step: 0, Name: CtrMsgs, Value: 2},
+				{Step: 0, Name: CtrRawBytes, Value: 2048},
+				{Step: 0, Name: CtrWireBytes, Value: 1024},
+				{Step: StepNone, Name: CtrDeadlineHits, Value: 1},
+			},
+		},
+		{
+			Rank: 1,
+			Phases: []PhaseStat{
+				{Step: StepNone, Name: PhaseRender, Nanos: 7e8, Count: 1},
+				{Step: 1, Name: PhaseMerge, Nanos: 3e6, Count: 1},
+			},
+			Counters: []CounterStat{
+				{Step: 1, Name: CtrMsgs, Value: 1},
+				{Step: 1, Name: CtrRawBytes, Value: 512},
+				{Step: 1, Name: CtrWireBytes, Value: 512},
+			},
+		},
+	}
+	got := StepTable(summaries).String()
+	for _, want := range []string{
+		"step", "encode", "ratio", // headers
+		"2.00x", "1.00x", // per-step compression ratios
+		"all",                    // totals row
+		"render (slowest rank):", // whole-run phase footnote (max across ranks)
+		"700.00ms",               // ... with rank 1's slower render
+		CtrDeadlineHits + ": 1",  // run-level counter footnote
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table missing %q:\n%s", want, got)
+		}
+	}
+	// Steps display 1-based.
+	if !strings.Contains(got, "\n1 ") && !strings.Contains(got, " 1 ") {
+		t.Fatalf("table has no 1-based step row:\n%s", got)
+	}
+}
+
+func TestSpanTotalSeconds(t *testing.T) {
+	spans := []Span{
+		{Name: PhaseSend, Start: 0, End: 2e9},
+		{Name: PhaseRecv, Start: 0, End: 1e9},
+	}
+	if got := SpanTotalSeconds(spans, PhaseSend); got != 2 {
+		t.Fatalf("send total = %v", got)
+	}
+	if got := SpanTotalSeconds(spans, ""); got != 3 {
+		t.Fatalf("all-span total = %v", got)
+	}
+}
+
+// GatherSummaries is a collective: run it on a real in-process fabric and
+// check root reassembles every rank's digest.
+func TestGatherSummariesInproc(t *testing.T) {
+	const p = 4
+	r := New()
+	var mu sync.Mutex
+	var rootGot []Summary
+	otherGotNil := true
+	err := inproc.Run(p, func(c comm.Comm) error {
+		rank := c.Rank()
+		r.AddStep(rank, 0, CtrMsgs, int64(rank+1))
+		var seq comm.Sequencer
+		got, err := GatherSummaries(c, &seq, 0, r.Summary(rank))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if rank == 0 {
+			rootGot = got
+		} else if got != nil {
+			otherGotNil = false
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !otherGotNil {
+		t.Fatal("non-root rank received summaries")
+	}
+	if len(rootGot) != p {
+		t.Fatalf("root got %d summaries, want %d", len(rootGot), p)
+	}
+	for rank, s := range rootGot {
+		if s.Rank != rank {
+			t.Fatalf("slot %d holds rank %d", rank, s.Rank)
+		}
+		if len(s.Counters) != 1 || s.Counters[0].Value != int64(rank+1) {
+			t.Fatalf("rank %d counters: %+v", rank, s.Counters)
+		}
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := New()
+	r.Add(0, CtrMsgs, 7)
+	r.Span(0, PhaseGather, CatNetwork, StepNone)()
+	srv := httptest.NewServer(Mux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	checkPromText(t, body)
+	if !strings.Contains(body, `rtcomp_msgs_total{rank="0"} 7`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, _, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["rtcomp"]; !ok {
+		t.Fatalf("/debug/vars missing rtcomp var; keys: %v", keysOf(vars))
+	}
+
+	code, _, body = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %q", code, body)
+	}
+}
+
+func TestNewServerTimeouts(t *testing.T) {
+	s := NewServer("127.0.0.1:0", nil)
+	if s.ReadHeaderTimeout <= 0 || s.ReadTimeout <= 0 || s.WriteTimeout <= 0 || s.IdleTimeout <= 0 {
+		t.Fatalf("server missing timeouts: %+v", s)
+	}
+	if s.MaxHeaderBytes <= 0 {
+		t.Fatal("server missing header cap")
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

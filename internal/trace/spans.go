@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rtcomp/internal/simnet"
+	"rtcomp/internal/telemetry"
+)
+
+// WriteChromeSpans exports real-run telemetry spans as the same Chrome
+// trace-event JSON WriteChromeTrace emits for simulated runs: one process
+// per rank, thread 0 = network, thread 1 = compute, complete ("X") events
+// in microseconds. Open the file in chrome://tracing or ui.perfetto.dev.
+func WriteChromeSpans(w io.Writer, spans []telemetry.Span) error {
+	out := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		tid := 1
+		if sp.Cat == telemetry.CatNetwork {
+			tid = 0
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			TS:   sp.Start.Seconds() * 1e6,
+			Dur:  (sp.End - sp.Start).Seconds() * 1e6,
+			PID:  sp.Rank,
+			TID:  tid,
+		}
+		if sp.Step != telemetry.StepNone {
+			ev.Name = fmt.Sprintf("%s step %d", sp.Name, sp.Step+1)
+			ev.Args = map[string]string{"step": fmt.Sprint(sp.Step + 1)}
+		}
+		out = append(out, ev)
+	}
+	return writeChromeEvents(w, out)
+}
+
+// SpanEvents converts telemetry spans into simulator occupancy events so
+// the existing Gantt renderer (and Utilisation) work on real-run telemetry:
+// network spans occupy the send engine, everything else the compute engine.
+func SpanEvents(spans []telemetry.Span) []simnet.Event {
+	out := make([]simnet.Event, 0, len(spans))
+	for _, sp := range spans {
+		kind := simnet.EventCompute
+		if sp.Cat == telemetry.CatNetwork {
+			kind = simnet.EventSend
+		}
+		out = append(out, simnet.Event{
+			Rank: sp.Rank,
+			Kind: kind,
+			Step: sp.Step,
+			T0:   sp.Start.Seconds(),
+			T1:   sp.End.Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T0 < out[j].T0 })
+	return out
+}
+
+// SpanGantt renders real-run telemetry spans as the per-rank ASCII
+// occupancy chart, p rows wide over the span horizon.
+func SpanGantt(spans []telemetry.Span, p, width int) string {
+	return Gantt(SpanEvents(spans), p, width, 0)
+}

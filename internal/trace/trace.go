@@ -167,8 +167,14 @@ func WriteChromeTrace(w io.Writer, events []simnet.Event) error {
 			Args: map[string]string{"step": fmt.Sprint(e.Step + 1)},
 		})
 	}
+	return writeChromeEvents(w, out)
+}
+
+// writeChromeEvents encodes a trace-event array — the shared tail of the
+// simulated (WriteChromeTrace) and real-run (WriteChromeSpans) exporters.
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(events)
 }
 
 func formatSeconds(s float64) string {

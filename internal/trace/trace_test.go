@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/simnet"
+	"rtcomp/internal/telemetry"
 )
 
 func simulateRT(t *testing.T, p, n int) *simnet.Result {
@@ -118,6 +120,67 @@ func TestGanttZeroHorizonAutoScales(t *testing.T) {
 	chart := Gantt(res.Events, 2, 40, 0)
 	if !strings.ContainsAny(chart, "-#%") {
 		t.Fatal("auto-scaled chart shows no activity")
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exact trace-event JSON emitted for a
+// fixed event list, so the on-disk format Perfetto consumes cannot drift
+// unnoticed.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	// Times are exact binary fractions so ts/dur serialise without float noise.
+	events := []simnet.Event{
+		{Rank: 0, Kind: simnet.EventCompute, Step: 0, Block: schedule.Block{Tile: 1, Level: 2, Index: 3}, T0: 0, T1: 0.5},
+		{Rank: 1, Kind: simnet.EventSend, Step: 1, Block: schedule.Block{Tile: 0, Level: 1, Index: 0}, T0: 0.25, T1: 0.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"compute t1.L2.3","cat":"compute","ph":"X","ts":0,"dur":500000,"pid":0,"tid":1,"args":{"step":"1"}},` +
+		`{"name":"send t0.L1.0","cat":"network","ph":"X","ts":250000,"dur":500000,"pid":1,"tid":0,"args":{"step":"2"}}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWriteChromeSpansGolden pins the real-run (telemetry span) exporter to
+// the same trace-event dialect.
+func TestWriteChromeSpansGolden(t *testing.T) {
+	// Durations are exact binary fractions of a second (250ms, 500ms) so the
+	// microsecond conversion serialises without float noise.
+	spans := []telemetry.Span{
+		{Rank: 0, Name: telemetry.PhaseEncode, Cat: telemetry.CatCompute, Step: 0, Start: 0, End: 500 * time.Millisecond},
+		{Rank: 2, Name: telemetry.PhaseGather, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: 250 * time.Millisecond, End: 750 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"encode step 1","cat":"compute","ph":"X","ts":0,"dur":500000,"pid":0,"tid":1,"args":{"step":"1"}},` +
+		`{"name":"gather","cat":"network","ph":"X","ts":250000,"dur":500000,"pid":2,"tid":0}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestSpanEventsAndGantt(t *testing.T) {
+	spans := []telemetry.Span{
+		{Rank: 1, Name: telemetry.PhaseSend, Cat: telemetry.CatNetwork, Step: 0, Start: 1000, End: 2000000},
+		{Rank: 0, Name: telemetry.PhaseMerge, Cat: telemetry.CatCompute, Step: 0, Start: 0, End: 1000000},
+	}
+	events := SpanEvents(spans)
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Kind != simnet.EventCompute || events[1].Kind != simnet.EventSend {
+		t.Fatalf("kinds not mapped/sorted: %+v", events)
+	}
+	chart := SpanGantt(spans, 2, 40)
+	if !strings.ContainsAny(chart, "-#%") {
+		t.Fatalf("span gantt shows no activity:\n%s", chart)
+	}
+	if lines := strings.Split(strings.TrimRight(chart, "\n"), "\n"); len(lines) != 3 {
+		t.Fatalf("span gantt has %d lines, want header + 2 ranks:\n%s", len(lines), chart)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"rtcomp/internal/comm"
+	"rtcomp/internal/telemetry"
 )
 
 // Plan describes the fault mix injected at one rank's endpoint. The zero
@@ -66,6 +67,10 @@ type Plan struct {
 	// Send calls: subsequent operations return ErrDead — the injected
 	// peer-death fault.
 	DieAfterSends int
+	// Telemetry, when non-nil, receives the injected-fault counters
+	// (retransmissions, losses, corruptions, CRC rejects) as they happen,
+	// in addition to the Stats snapshot.
+	Telemetry *telemetry.Recorder
 }
 
 // ErrDead is returned by every operation on an endpoint whose plan has
@@ -170,6 +175,7 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	buf := frame(payload)
 	if e.roll(e.plan.CorruptProb) {
 		e.stats.Corrupted++
+		e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrCorruptInjected, 1)
 		buf[e.rng.Intn(len(buf))] ^= 0x40
 	}
 	// Decide the whole transmission schedule for this message up front so
@@ -188,8 +194,11 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if lost {
 		e.stats.Lost++
 		e.stats.Resent += drops - 1
+		e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrMsgsLost, 1)
+		e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrRetransmissions, int64(drops-1))
 	} else {
 		e.stats.Resent += drops
+		e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrRetransmissions, int64(drops))
 	}
 	delay := time.Duration(0)
 	if !lost && e.roll(e.plan.DelayProb) && e.plan.MaxDelay > 0 {
@@ -264,6 +273,7 @@ func (e *Endpoint) recvFiltered(keys []comm.MsgKey, timeout time.Duration) (int,
 			e.mu.Lock()
 			e.stats.RejectedCRC++
 			e.mu.Unlock()
+			e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrCRCRejects, 1)
 			continue
 		}
 		return from, tag, payload, nil

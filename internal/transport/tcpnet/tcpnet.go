@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"rtcomp/internal/comm"
+	"rtcomp/internal/telemetry"
 	"rtcomp/internal/transport/mbox"
 )
 
@@ -44,6 +45,10 @@ type Config struct {
 	// attempts, handshakes, stragglers) — the observable heartbeat that
 	// distinguishes a slow peer from a dead one.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, receives transport counters: mesh dial
+	// attempts (including retries) and mid-run peer failures such as frame
+	// CRC mismatches or dropped connections.
+	Telemetry *telemetry.Recorder
 }
 
 // maxFrame bounds a single message payload (64 MiB), protecting against
@@ -65,6 +70,7 @@ type Endpoint struct {
 	box   *mbox.Mailbox
 	conns []*peerConn // index = peer rank; nil at own rank
 	ln    net.Listener
+	tel   *telemetry.Recorder
 
 	mu       sync.Mutex
 	counters comm.Counters
@@ -111,6 +117,7 @@ func Start(cfg Config) (*Endpoint, error) {
 		size:  p,
 		box:   mbox.New(),
 		conns: make([]*peerConn, p),
+		tel:   cfg.Telemetry,
 	}
 	if p == 1 {
 		return ep, nil
@@ -164,6 +171,7 @@ func Start(cfg Config) (*Endpoint, error) {
 	for peer := 0; peer < cfg.Rank; peer++ {
 		logf("tcpnet: rank %d dialing rank %d at %s", cfg.Rank, peer, cfg.Addrs[peer])
 		conn, attempts, err := dialHandshake(cfg.Addrs[peer], cfg.Rank, backoff, deadline)
+		ep.tel.Add(cfg.Rank, telemetry.CtrDialAttempts, int64(attempts))
 		if err != nil {
 			ep.Close()
 			return nil, fmt.Errorf("tcpnet: rank %d dial rank %d (%s, %d attempts): %w",
@@ -275,27 +283,32 @@ func dialHandshake(addr string, rank int, backoff time.Duration, deadline time.T
 const frameHeader = 16
 
 func (e *Endpoint) readLoop(peer int, c net.Conn) {
-	fail := func(err error) {
+	fail := func(err error, abnormal bool) {
 		// A dead peer only poisons receives from that peer; already
-		// delivered messages and other connections stay live.
+		// delivered messages and other connections stay live. Only count a
+		// peer failure for abnormal breaks on a live endpoint — a clean EOF
+		// between frames or a teardown race is ordinary end-of-run traffic.
+		if abnormal && !e.isClosed() {
+			e.tel.Add(e.rank, telemetry.CtrPeerFailures, 1)
+		}
 		e.box.Fail(peer, &comm.PeerError{Rank: peer, Err: err})
 	}
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err), !errors.Is(err, io.EOF))
 			return
 		}
 		tag := int(int64(binary.BigEndian.Uint64(hdr[:8])))
 		n := binary.BigEndian.Uint32(hdr[8:12])
 		want := binary.BigEndian.Uint32(hdr[12:16])
 		if n > maxFrame {
-			fail(fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame))
+			fail(fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame), true)
 			return
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(c, payload); err != nil {
-			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err))
+			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err), true)
 			return
 		}
 		// The byte stream cannot be resynchronised after a bad frame, so a
@@ -303,7 +316,7 @@ func (e *Endpoint) readLoop(peer int, c net.Conn) {
 		got := crc32.Update(crc32.Checksum(hdr[:12], crcTable), crcTable, payload)
 		if got != want {
 			fail(fmt.Errorf("tcpnet: frame CRC mismatch from rank %d (tag %d, %d bytes): got %08x want %08x",
-				peer, tag, n, got, want))
+				peer, tag, n, got, want), true)
 			return
 		}
 		if err := e.box.Put(mbox.Message{From: peer, Tag: tag, Payload: payload}); err != nil {
@@ -411,6 +424,14 @@ func deadlineFor(timeout time.Duration) time.Time {
 }
 
 // Counters implements comm.Comm.
+// isClosed reports whether Close has begun, so late readLoop errors from
+// our own teardown are not misattributed to peers.
+func (e *Endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
 func (e *Endpoint) Counters() comm.Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
