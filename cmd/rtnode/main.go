@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"rtcomp/internal/comm"
@@ -55,7 +57,8 @@ func main() {
 		part      = flag.String("partition", "1d", "render-stage partitioning: 1d (depth slabs) or 2d (image tiles)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "mesh setup timeout")
 		recvTO    = flag.Duration("recv-timeout", 0, "composition receive deadline (0 = wait forever)")
-		missing   = flag.String("on-missing", "fail", "policy for missing contributions: fail or partial")
+		missing   = flag.String("on-missing", "fail", "policy for missing contributions: fail, partial or recover")
+		maxRec    = flag.Int("max-recoveries", 2, "re-execution budget of -on-missing recover (negative = fallback immediately)")
 		quiet     = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
 		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added)")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
@@ -81,24 +84,26 @@ func main() {
 	}
 	mkConfig := func(p int) core.Config {
 		return core.Config{
-			Dataset:     *dataset,
-			VolumeN:     *volN,
-			Camera:      shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
-			Width:       *size,
-			Height:      *size,
-			P:           p,
-			Method:      m,
-			Codec:       *cdc,
-			Accelerate:  *accel,
-			RLE:         *rle,
-			Partition:   *part,
-			RecvTimeout: *recvTO,
-			OnMissing:   *missing,
-			Telemetry:   rec,
+			Dataset:       *dataset,
+			VolumeN:       *volN,
+			Camera:        shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
+			Width:         *size,
+			Height:        *size,
+			P:             p,
+			Method:        m,
+			Codec:         *cdc,
+			Accelerate:    *accel,
+			RLE:           *rle,
+			Partition:     *part,
+			RecvTimeout:   *recvTO,
+			OnMissing:     *missing,
+			MaxRecoveries: *maxRec,
+			Telemetry:     rec,
 		}
 	}
 
 	if *local > 0 {
+		flushOnSignal(rec, *traceOut, func() []telemetry.Summary { return rec.Summaries(*local) })
 		if err := runLocal(*local, mkConfig(*local), rec, *out, *traceOut, *timeout); err != nil {
 			fatal(err)
 		}
@@ -109,6 +114,11 @@ func main() {
 	if *addrs == "" || *rank < 0 || *rank >= len(list) {
 		fatal(fmt.Errorf("need -rank in [0,%d) and -addrs with one address per rank (or -local P)", len(list)))
 	}
+	tracePath := ""
+	if *traceOut != "" {
+		tracePath = rankedPath(*traceOut, *rank)
+	}
+	flushOnSignal(rec, tracePath, func() []telemetry.Summary { return []telemetry.Summary{rec.Summary(*rank)} })
 	ep, err := tcpnet.Start(tcpnet.Config{
 		Rank:        *rank,
 		Addrs:       list,
@@ -125,25 +135,35 @@ func main() {
 		fatal(err)
 	}
 	warnDegraded(rep)
+	noteRecovered(rep)
 	fmt.Printf("rank %d: %d msgs sent, %d bytes sent, %d over-pixels\n",
 		*rank, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels)
 	fmt.Printf("rank %d comm: %s\n", *rank, rep.Comm)
-	// Cluster-wide totals, reduced to rank 0 over the same sockets.
+	// Cluster-wide totals, reduced to rank 0 over the same sockets. The
+	// teardown collectives run under the composition's receive deadline:
+	// after a recovered frame some peers are dead, and a missing summary
+	// must cost a warning, not a wedged process.
 	var seq comm.Sequencer
-	totals, err := comm.ReduceSum(ep, &seq, 0,
-		[]int64{rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels})
+	totals, err := comm.ReduceSumTimeout(ep, &seq, 0,
+		[]int64{rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels}, *recvTO)
 	if err != nil {
-		fatal(err)
+		if !comm.IsRecoverable(err) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rtnode: WARNING: cluster totals incomplete: %v\n", err)
 	}
 	if totals != nil {
 		fmt.Printf("cluster totals: %d msgs, %d bytes, %d over-pixels\n",
 			totals[0], totals[1], totals[2])
 	}
 	// Cross-rank telemetry: every rank ships its summary to rank 0, which
-	// prints the per-step timing/bytes table.
-	summaries, err := telemetry.GatherSummaries(ep, &seq, 0, rec.Summary(*rank))
+	// prints the per-step timing/bytes table (partial if peers are dead).
+	summaries, err := telemetry.GatherSummaries(ep, &seq, 0, rec.Summary(*rank), *recvTO)
 	if err != nil {
-		fatal(err)
+		if !comm.IsRecoverable(err) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rtnode: WARNING: telemetry table incomplete: %v\n", err)
 	}
 	if summaries != nil {
 		fmt.Println()
@@ -184,6 +204,39 @@ func warnDegraded(rep *compositor.Report) {
 	fmt.Fprintf(os.Stderr,
 		"rtnode: WARNING: rank %d composed a DEGRADED image: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s); comm: %s\n",
 		rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers, rep.Comm)
+}
+
+// noteRecovered surfaces a recover-policy frame that lost ranks but still
+// certified a complete image from the replicated sub-images.
+func noteRecovered(rep *compositor.Report) {
+	if rep == nil || !rep.Recovered {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"rtnode: rank %d RECOVERED a complete image: %d re-executed epoch(s), dead rank(s) %v contributed from replicas\n",
+		rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
+}
+
+// flushOnSignal makes SIGINT/SIGTERM flush the observability before dying:
+// the trace file (when -trace-out is set) and the partial telemetry table
+// land on disk/stderr even when the run is interrupted mid-frame — exactly
+// the moment the spans are most needed.
+func flushOnSignal(rec *telemetry.Recorder, tracePath string, summarize func() []telemetry.Summary) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "rtnode: caught %v, flushing partial telemetry\n", sig)
+		if tracePath != "" {
+			if err := writeTrace(rec, tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "rtnode: trace flush: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "rtnode: wrote %s (partial)\n", tracePath)
+			}
+		}
+		fmt.Fprint(os.Stderr, telemetry.StepTable(summarize()))
+		os.Exit(130)
+	}()
 }
 
 func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut string, timeout time.Duration) error {

@@ -14,11 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"rtcomp/internal/core"
 	"rtcomp/internal/shearwarp"
@@ -30,15 +35,38 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
 		p      = flag.Int("p", 8, "processor (goroutine rank) count per frame")
 		volN   = flag.Int("voln", 96, "phantom resolution")
+		slots  = flag.Int("slots", 2, "concurrent render slots; excess requests get 503 + Retry-After")
+		reqTO  = flag.Duration("request-timeout", 30*time.Second, "per-request render deadline (0 = none)")
 	)
 	flag.Parse()
 
-	srv := &server{p: *p, volN: *volN, rec: telemetry.New()}
+	srv := &server{p: *p, volN: *volN, rec: telemetry.New(), reqTO: *reqTO}
+	if *slots > 0 {
+		srv.slots = make(chan struct{}, *slots)
+	}
 	// An http.Server with explicit limits, not the timeout-less
 	// http.ListenAndServe: a stalled client must not pin a handler forever.
 	hs := telemetry.NewServer(*listen, newMux(srv))
-	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3); telemetry at /metrics, /debug/vars, /debug/pprof", *listen, *p, *volN)
-	log.Fatal(hs.ListenAndServe())
+	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3, %d slot(s)); telemetry at /metrics, /debug/vars, /debug/pprof", *listen, *p, *volN, *slots)
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, lets in-flight
+	// renders drain (bounded), then exits — no frames cut off mid-PNG.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Print("rtserve: shutting down, draining in-flight renders")
+		drain, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(drain); err != nil {
+			log.Printf("rtserve: shutdown: %v", err)
+		}
+	}
 }
 
 // newMux wires the viewer endpoints and the live telemetry surface onto one
@@ -56,6 +84,31 @@ func newMux(s *server) *http.ServeMux {
 type server struct {
 	p, volN int
 	rec     *telemetry.Recorder // accumulates across frames; served at /metrics
+	slots   chan struct{}       // admission semaphore; nil = unlimited
+	reqTO   time.Duration       // per-request render deadline; 0 = none
+}
+
+// acquire takes a render slot without blocking. A full server answers 503
+// with Retry-After instead of queueing: each render fans out P goroutines,
+// so an unbounded queue turns a burst into a livelock.
+func (s *server) acquire(w http.ResponseWriter) bool {
+	if s.slots == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "all render slots busy", http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+func (s *server) release() {
+	if s.slots != nil {
+		<-s.slots
+	}
 }
 
 // queryFloat parses a float query parameter with a default.
@@ -109,6 +162,11 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		codec = "trle"
 	}
 
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+
 	cfg := core.Config{
 		Dataset:    dataset,
 		VolumeN:    s.volN,
@@ -121,8 +179,21 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		Accelerate: true,
 		Telemetry:  s.rec,
 	}
-	rep, err := core.RenderParallel(cfg)
+	// The render runs under the request's context plus the server's own
+	// deadline: a client that gives up (or a hung frame) releases the slot
+	// instead of pinning renderer goroutines forever.
+	ctx := r.Context()
+	if s.reqTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTO)
+		defer cancel()
+	}
+	rep, err := core.RenderParallelCtx(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "render exceeded the request deadline", http.StatusGatewayTimeout)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

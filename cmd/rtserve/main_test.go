@@ -2,10 +2,12 @@ package main
 
 import (
 	"image/png"
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"rtcomp/internal/telemetry"
 )
@@ -91,6 +93,44 @@ func TestMetricsEndpoint(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "rtcomp") {
 		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+}
+
+// TestRenderSlotsShedLoad: with every slot taken the handler must answer
+// 503 + Retry-After immediately instead of queueing, and release slots so
+// the next request renders again.
+func TestRenderSlotsShedLoad(t *testing.T) {
+	srv := &server{p: 2, volN: 32, slots: make(chan struct{}, 1)}
+	srv.slots <- struct{}{} // occupy the only slot
+
+	rec := httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs", nil))
+	if rec.Code != 503 {
+		t.Fatalf("busy server status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+
+	<-srv.slots // free the slot
+	rec = httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs", nil))
+	if rec.Code != 200 {
+		t.Fatalf("freed server status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(srv.slots) != 0 {
+		t.Fatal("render did not release its slot")
+	}
+}
+
+// TestRenderDeadline: a request whose context is already expired must get
+// a timeout status, not a rendered frame.
+func TestRenderDeadline(t *testing.T) {
+	srv := &server{p: 2, volN: 32, reqTO: time.Nanosecond}
+	rec := httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=64&method=bs", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline status %d, want %d", rec.Code, http.StatusGatewayTimeout)
 	}
 }
 

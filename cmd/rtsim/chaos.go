@@ -35,10 +35,11 @@ type chaosConfig struct {
 	dieAfter  int
 	// dieAfter applies to the last rank only, so the run demonstrates the
 	// survivors' behaviour rather than killing everyone.
-	recvTimeout time.Duration
-	onMissing   string
-	traceOut    string // write the real run's telemetry as Chrome trace JSON
-	gantt       bool   // print the per-rank span occupancy chart
+	recvTimeout   time.Duration
+	onMissing     string
+	maxRecoveries int    // re-execution budget of the recover policy
+	traceOut      string // write the real run's telemetry as Chrome trace JSON
+	gantt         bool   // print the per-rank span occupancy chart
 }
 
 // runChaos executes the schedule for real on the in-process fabric with
@@ -77,11 +78,12 @@ func runChaos(cc chaosConfig) error {
 		}
 		ep := faulty.Wrap(inner, rankPlan)
 		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], compositor.Options{
-			Codec:       cc.cdc,
-			GatherRoot:  0,
-			RecvTimeout: cc.recvTimeout,
-			OnMissing:   policy,
-			Telemetry:   rec,
+			Codec:         cc.cdc,
+			GatherRoot:    0,
+			RecvTimeout:   cc.recvTimeout,
+			OnMissing:     policy,
+			MaxRecoveries: cc.maxRecoveries,
+			Telemetry:     rec,
 		})
 		mu.Lock()
 		defer mu.Unlock()
@@ -110,19 +112,42 @@ func runChaos(cc chaosConfig) error {
 	fmt.Printf("chaos: injected %d drop(s) (%d lost, %d resends), %d delay(s), %d dup(s), %d corruption(s), %d CRC reject(s)\n",
 		tot.Dropped, tot.Lost, tot.Resent, tot.Delayed, tot.Duplicated, tot.Corrupted, tot.RejectedCRC)
 
+	// Under the recover policy the intentionally killed rank is expected to
+	// die with a typed error; only survivor errors count as failure.
+	victim := -1
+	if policy == compositor.Recover && cc.dieAfter > 0 {
+		victim = p - 1
+	}
 	failed := 0
 	for r, err := range rankErrs {
 		if err != nil {
+			if r == victim {
+				fmt.Printf("chaos: rank %d (victim) died as planned: %v\n", r, err)
+				continue
+			}
 			failed++
 			fmt.Printf("chaos: rank %d error: %v\n", r, err)
 		}
 	}
 	degraded := false
+	recovered := false
+	epochs := 0
 	for _, rep := range reports {
-		if rep != nil && rep.Degraded {
+		if rep == nil {
+			continue
+		}
+		if rep.Degraded {
 			degraded = true
 			fmt.Printf("chaos: rank %d degraded: %d missing transfer(s), %d blank layer-pixel(s), %d missing gather(s)\n",
 				rep.Rank, rep.MissingTransfers, rep.MissingLayerPix, rep.MissingGathers)
+		}
+		if rep.Recovered {
+			recovered = true
+			if rep.RecoveryEpochs > epochs {
+				epochs = rep.RecoveryEpochs
+			}
+			fmt.Printf("chaos: rank %d recovered: %d epoch(s), replicas stood in for rank(s) %v\n",
+				rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
 		}
 	}
 	// The real run's telemetry: per-step timing/bytes table aggregated
@@ -151,12 +176,27 @@ func runChaos(cc chaosConfig) error {
 	switch {
 	case failed > 0:
 		fmt.Printf("chaos: FAILED CLEANLY in %v — %d rank(s) returned typed errors, no hang\n", elapsed, failed)
+		if victim >= 0 {
+			return fmt.Errorf("chaos: %d survivor(s) errored under the recover policy", failed)
+		}
 	case final == nil:
 		fmt.Printf("chaos: no final image in %v\n", elapsed)
+		if victim >= 0 {
+			return fmt.Errorf("chaos: recover policy delivered no image")
+		}
+	case recovered && raster.MaxDiff(final, want) <= tol:
+		fmt.Printf("chaos: RECOVERED in %v — %d re-executed epoch(s), image matches the fault-free composite (maxdiff %d, tolerance %d)\n",
+			elapsed, epochs, raster.MaxDiff(final, want), tol)
 	case degraded:
 		fmt.Printf("chaos: DEGRADED image composed in %v (maxdiff vs reference: %d)\n",
 			elapsed, raster.MaxDiff(final, want))
 	case raster.MaxDiff(final, want) <= tol:
+		if victim >= 0 {
+			// A victim was configured but nobody recovered: the kill never
+			// fired (die-after beyond the send count) or went unnoticed —
+			// either way the CI invariant did not get exercised.
+			return fmt.Errorf("chaos: image is complete but no rank flagged Recovered with a victim configured")
+		}
 		fmt.Printf("chaos: SURVIVED in %v — image matches the fault-free composite (maxdiff %d, tolerance %d)\n",
 			elapsed, raster.MaxDiff(final, want), tol)
 	default:

@@ -52,7 +52,8 @@ func main() {
 		corrupt   = flag.Float64("corrupt", 0, "chaos: payload corruption probability")
 		dieAfter  = flag.Int("die-after", 0, "chaos: kill the last rank after this many sends (0 = never)")
 		recvTO    = flag.Duration("recv-timeout", 2*time.Second, "chaos: composition receive deadline")
-		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail or partial)")
+		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail, partial or recover)")
+		maxRec    = flag.Int("max-recoveries", 2, "chaos: re-execution budget of -on-missing recover")
 	)
 	flag.Parse()
 
@@ -99,7 +100,7 @@ func main() {
 			seed: *chaosSeed, drop: *drop, resend: *resend,
 			delayProb: *delayProb, maxDelay: *maxDelay,
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
-			recvTimeout: *recvTO, onMissing: *missing,
+			recvTimeout: *recvTO, onMissing: *missing, maxRecoveries: *maxRec,
 			traceOut: *traceOut, gantt: *gantt,
 		})
 		if err != nil {

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math/rand"
 	"testing"
 
 	"rtcomp/internal/raster"
@@ -45,11 +47,35 @@ func canonicalize(pix []byte) []byte {
 	return out
 }
 
+// replicaFrameSeeds mirrors the compositor's replication-exchange frame
+// (uvarint width, uvarint height, encoded pixels — see encodeReplica): the
+// decoder sees these byte streams verbatim when a buddy's replica arrives,
+// so the hostile-stream half of the property gets seeded with exactly that
+// wire shape, headers and all.
+func replicaFrameSeeds(c Codec) [][]byte {
+	var seeds [][]byte
+	rng := rand.New(rand.NewSource(99))
+	for _, dim := range []struct{ w, h int }{{4, 4}, {8, 2}, {1, 1}} {
+		img := raster.RandomBinaryImage(rng, dim.w, dim.h, 0.5)
+		frame := binary.AppendUvarint(nil, uint64(dim.w))
+		frame = binary.AppendUvarint(frame, uint64(dim.h))
+		seeds = append(seeds, append(frame, c.Encode(img.Pix)...))
+	}
+	// A frame whose header promises more pixels than the payload encodes.
+	lying := binary.AppendUvarint(nil, 1<<20)
+	lying = binary.AppendUvarint(lying, 1<<20)
+	seeds = append(seeds, append(lying, c.Encode(bytes.Repeat([]byte{9, 255}, 4))...))
+	return seeds
+}
+
 // fuzzRoundTrip is the shared property: the codec must reproduce any pixel
 // block exactly, and its decoder must reject arbitrary malformed streams
 // with ErrCorrupt rather than panicking or fabricating pixels.
 func fuzzRoundTrip(f *testing.F, c Codec, canonical bool) {
 	for _, seed := range templateSeeds() {
+		f.Add(seed)
+	}
+	for _, seed := range replicaFrameSeeds(c) {
 		f.Add(seed)
 	}
 	f.Add([]byte{})

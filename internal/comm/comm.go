@@ -153,13 +153,23 @@ type Sequencer struct {
 
 // ReduceSum folds each rank's int64 values element-wise at root with a
 // binomial tree; root receives the sums, other ranks receive nil. Every
-// rank must pass the same number of values.
+// rank must pass the same number of values. It waits forever on a silent
+// peer; use ReduceSumTimeout when the mesh may contain dead ranks.
 func ReduceSum(c Comm, seq *Sequencer, root int, values []int64) ([]int64, error) {
+	return ReduceSumTimeout(c, seq, root, values, 0)
+}
+
+// ReduceSumTimeout is ReduceSum with every receive bounded by the timeout
+// (<= 0 waits forever). A dead subtree surfaces as a recoverable error;
+// the partial sums accumulated so far are returned alongside it, so a
+// teardown path can still report what it has.
+func ReduceSumTimeout(c Comm, seq *Sequencer, root int, values []int64, timeout time.Duration) ([]int64, error) {
 	seq.reduce++
 	base := tagReduce - seq.reduce*64
 	p := c.Size()
 	acc := make([]int64, len(values))
 	copy(acc, values)
+	var firstErr error
 	// Reduce onto virtual rank 0 = root by rotating ranks.
 	me := ((c.Rank()-root)%p + p) % p
 	for dist := 1; dist < p; dist *= 2 {
@@ -169,8 +179,17 @@ func ReduceSum(c Comm, seq *Sequencer, root int, values []int64) ([]int64, error
 		}
 		if me%(2*dist) == 0 && me+dist < p {
 			from := (me + dist + root) % p
-			payload, err := c.Recv(from, base-dist)
+			payload, err := c.RecvTimeout(from, base-dist, timeout)
 			if err != nil {
+				if IsRecoverable(err) && firstErr == nil {
+					// The subtree rooted at `from` is unreachable; keep
+					// folding the reachable ones.
+					firstErr = fmt.Errorf("reduce recv from %d: %w", from, err)
+					continue
+				}
+				if IsRecoverable(err) {
+					continue
+				}
 				return nil, fmt.Errorf("reduce recv: %w", err)
 			}
 			vals, err := decodeInt64s(payload, len(acc))
@@ -182,7 +201,7 @@ func ReduceSum(c Comm, seq *Sequencer, root int, values []int64) ([]int64, error
 			}
 		}
 	}
-	return acc, nil
+	return acc, firstErr
 }
 
 func encodeInt64s(vals []int64) []byte {
@@ -213,8 +232,17 @@ func decodeInt64s(payload []byte, n int) ([]int64, error) {
 
 // Barrier blocks until all ranks have entered it, using a dissemination
 // pattern: round j exchanges a token at distance 2^j, needing only
-// ceil(log2 P) rounds for any P.
+// ceil(log2 P) rounds for any P. It waits forever on a silent peer; use
+// BarrierTimeout when the mesh may contain dead ranks.
 func Barrier(c Comm, seq *Sequencer) error {
+	return BarrierTimeout(c, seq, 0)
+}
+
+// BarrierTimeout is Barrier with every round's receive bounded by the
+// timeout (<= 0 waits forever). A dead peer surfaces as a recoverable
+// error after at most ceil(log2 P) timeouts instead of pinning the caller
+// forever.
+func BarrierTimeout(c Comm, seq *Sequencer, timeout time.Duration) error {
 	p := c.Size()
 	seq.barrier++
 	if p == 1 {
@@ -227,7 +255,7 @@ func Barrier(c Comm, seq *Sequencer) error {
 		if err := c.Send(to, base-j, nil); err != nil {
 			return fmt.Errorf("barrier send: %w", err)
 		}
-		if _, err := c.Recv(from, base-j); err != nil {
+		if _, err := c.RecvTimeout(from, base-j, timeout); err != nil {
 			return fmt.Errorf("barrier recv: %w", err)
 		}
 	}
@@ -236,8 +264,18 @@ func Barrier(c Comm, seq *Sequencer) error {
 
 // Gather collects each rank's payload at root. On root it returns a slice
 // indexed by rank (root's own slot holds its local payload); on other ranks
-// it returns nil.
+// it returns nil. It waits forever on a silent peer; use GatherTimeout when
+// the mesh may contain dead ranks.
 func Gather(c Comm, seq *Sequencer, root int, payload []byte) ([][]byte, error) {
+	return GatherTimeout(c, seq, root, payload, 0)
+}
+
+// GatherTimeout is Gather with a deadline: the root collects in arrival
+// order and grants at most `timeout` of silence between arrivals (<= 0
+// waits forever). When ranks are unreachable the root returns the partial
+// result — missing ranks hold nil — alongside the first recoverable error,
+// so a teardown path can report the survivors' data instead of hanging.
+func GatherTimeout(c Comm, seq *Sequencer, root int, payload []byte, timeout time.Duration) ([][]byte, error) {
 	seq.gather++
 	tag := tagGather - seq.gather*64
 	if c.Rank() != root {
@@ -245,34 +283,66 @@ func Gather(c Comm, seq *Sequencer, root int, payload []byte) ([][]byte, error) 
 	}
 	out := make([][]byte, c.Size())
 	out[root] = payload
+	var keys []MsgKey
 	for r := 0; r < c.Size(); r++ {
-		if r == root {
-			continue
+		if r != root {
+			keys = append(keys, MsgKey{From: r, Tag: tag})
 		}
-		data, err := c.Recv(r, tag)
-		if err != nil {
-			return nil, fmt.Errorf("gather from %d: %w", r, err)
-		}
-		out[r] = data
 	}
-	return out, nil
+	var firstErr error
+	for len(keys) > 0 {
+		from, _, data, err := c.RecvAnyTimeout(keys, timeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gather: %w", err)
+			}
+			var perr *PeerError
+			if errors.As(err, &perr) {
+				keys = dropKeysFrom(keys, perr.Rank)
+				continue
+			}
+			if errors.Is(err, ErrDeadline) {
+				break
+			}
+			return nil, fmt.Errorf("gather: %w", err)
+		}
+		out[from] = data
+		keys = dropKeysFrom(keys, from)
+	}
+	return out, firstErr
 }
 
 // Bcast sends root's payload to every rank and returns the payload on all
-// ranks (including root).
+// ranks (including root). It waits forever on a silent root; use
+// BcastTimeout when the mesh may contain dead ranks.
 func Bcast(c Comm, seq *Sequencer, root int, payload []byte) ([]byte, error) {
+	return BcastTimeout(c, seq, root, payload, 0)
+}
+
+// BcastTimeout is Bcast with the non-root receive bounded by the timeout
+// (<= 0 waits forever).
+func BcastTimeout(c Comm, seq *Sequencer, root int, payload []byte, timeout time.Duration) ([]byte, error) {
 	seq.bcast++
 	tag := tagBcast - seq.bcast*64
 	if c.Rank() == root {
+		var firstErr error
 		for r := 0; r < c.Size(); r++ {
 			if r == root {
 				continue
 			}
 			if err := c.Send(r, tag, payload); err != nil {
+				if IsRecoverable(err) {
+					// A dead receiver cannot stall the broadcast of the
+					// final image to the ranks that are still listening.
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bcast to %d: %w", r, err)
+					}
+					continue
+				}
 				return nil, fmt.Errorf("bcast to %d: %w", r, err)
 			}
 		}
-		return payload, nil
+		return payload, firstErr
 	}
-	return c.Recv(root, tag)
+	return c.RecvTimeout(root, tag, timeout)
 }

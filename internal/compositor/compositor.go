@@ -35,6 +35,16 @@ const (
 	// result via Report.Degraded — the show-must-go-on configuration of an
 	// interactive display wall.
 	ComposePartial
+	// Recover replicates every rank's initial sub-image to a deterministic
+	// buddy before step 1, detects failures via deadlines and FAILED
+	// notices, agrees on the dead set with the survivors, and re-executes
+	// the composition over a repaired schedule — producing a complete,
+	// pixel-exact image flagged Recovered instead of a degraded one.
+	// Requires a positive RecvTimeout. When the recovery budget
+	// (MaxRecoveries) is exhausted or a dead rank's replica died with its
+	// buddy, it falls back to one compose-partial epoch and forces the
+	// Degraded flag (the result was never certified complete).
+	Recover
 )
 
 // String implements fmt.Stringer.
@@ -44,20 +54,24 @@ func (p Policy) String() string {
 		return "fail"
 	case ComposePartial:
 		return "partial"
+	case Recover:
+		return "recover"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// ParsePolicy parses a policy flag value: "fail"/"fail-fast" or
-// "partial"/"compose-partial".
+// ParsePolicy parses a policy flag value: "fail"/"fail-fast",
+// "partial"/"compose-partial" or "recover".
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
 	case "", "fail", "fail-fast":
 		return FailFast, nil
 	case "partial", "compose-partial":
 		return ComposePartial, nil
+	case "recover":
+		return Recover, nil
 	}
-	return FailFast, fmt.Errorf("compositor: unknown missing-data policy %q (want fail or partial)", s)
+	return FailFast, fmt.Errorf("compositor: unknown missing-data policy %q (want fail, partial or recover)", s)
 }
 
 // Options configures a composition run.
@@ -79,6 +93,15 @@ type Options struct {
 	// elapses or a peer fails. It only takes effect with a non-zero
 	// RecvTimeout or a fabric that reports peer failures.
 	OnMissing Policy
+	// MaxRecoveries bounds how many times the Recover policy re-executes
+	// the composition after a failure agreement. Zero means the default
+	// (DefaultMaxRecoveries); a negative value forbids re-execution, so
+	// any failure goes straight to the compose-partial fallback.
+	MaxRecoveries int
+	// AgreeTimeout bounds each membership agreement round under Recover.
+	// Zero means 3x RecvTimeout — enough for a peer that was still blocked
+	// on the dead rank to reach the agreement late.
+	AgreeTimeout time.Duration
 	// Telemetry records per-phase spans (encode/send/recv/decode/merge/
 	// gather) and per-step byte counters for this run. Nil disables
 	// recording — the default, and effectively free on the hot path.
@@ -100,6 +123,24 @@ type Report struct {
 	MissingTransfers int   // scheduled messages that never arrived (or failed to send)
 	MissingLayerPix  int64 // pixels times absent ranks substituted as blank
 	MissingGathers   int   // ranks whose final blocks never reached the gather root
+
+	// Recovered flags a Recover-policy result that lost ranks mid-frame
+	// and still certified a complete image from replicated sub-images.
+	Recovered      bool
+	RecoveryEpochs int   // composition epochs re-executed after agreement
+	RecoveredRanks []int // dead ranks whose layers were recovered
+}
+
+// resetDegradation clears the per-epoch damage tallies: they describe the
+// image that is finally returned, so an aborted epoch's bookkeeping must
+// not leak into the next attempt's report. The cumulative work counters
+// (RawBytes, WireBytes, OverPixels) intentionally survive.
+func (r *Report) resetDegradation() {
+	r.Degraded = false
+	r.MissingTransfers = 0
+	r.MissingLayerPix = 0
+	r.MissingGathers = 0
+	r.FinalBlocks = 0
 }
 
 // Run executes the schedule for this rank's partial image. On the gather
@@ -116,10 +157,46 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 	if cdc == nil {
 		cdc = codec.Raw{}
 	}
+	if opts.OnMissing == Recover {
+		return runRecover(c, sched, local, opts, cdc)
+	}
+	rep := &Report{Rank: c.Rank()}
+	final, err := runOnce(c, sched, local, opts, cdc, rep, 0, nil, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	finalizeReport(c, rep, opts.Telemetry)
+	return final, rep, nil
+}
+
+// runOnce executes one epoch of a plan under the FailFast/ComposePartial
+// semantics: stage, step loop, gap filling, completeness check, gather and
+// optional broadcast. The recovery path reuses it for the compose-partial
+// fallback epoch, staging replica layers at their owners (owners[l] is the
+// rank contributing layer l, -1 = absent) and skipping ranks known dead.
+// Tags are scoped by epoch so a re-execution never consumes traffic from
+// an aborted attempt.
+func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Options, cdc codec.Codec,
+	rep *Report, epoch int, owners []int, replicas map[int]*raster.Image, dead []bool) (*raster.Image, error) {
 	me := c.Rank()
 	st := fragstore.New(me, sched, local)
-	rep := &Report{Rank: me}
 	tel := opts.Telemetry
+	for l, o := range owners {
+		if o != me || l == me {
+			continue
+		}
+		img := replicas[l]
+		if img == nil {
+			// The replica never arrived; the layer stays absent and the
+			// gap-filling pass blanks it like any missing contribution.
+			continue
+		}
+		overPix, err := st.InsertLayer(l, img)
+		if err != nil {
+			return nil, err
+		}
+		rep.OverPixels += overPix
+	}
 
 	for si, step := range sched.Steps {
 		for h := 0; h < step.PreHalvings; h++ {
@@ -133,16 +210,16 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		for _, tr := range step.Transfers {
 			switch {
 			case tr.From == me:
-				if err := send(c, st, cdc, rep, tel, si, tr); err != nil {
+				if err := send(c, st, cdc, rep, tel, epoch, si, tr); err != nil {
 					if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 						rep.Degraded = true
 						rep.MissingTransfers++
 						continue
 					}
-					return nil, nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
+					return nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
 				}
 			case tr.To == me:
-				pending[comm.MsgKey{From: tr.From, Tag: tagFor(si, tr.Block)}] = tr
+				pending[comm.MsgKey{From: tr.From, Tag: tagFor(epoch, si, tr.Block)}] = tr
 			}
 		}
 		keys := make([]comm.MsgKey, 0, len(pending))
@@ -169,12 +246,12 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 					rep.MissingTransfers += len(pending)
 					break
 				}
-				return nil, nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
+				return nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
 			}
 			key := comm.MsgKey{From: from, Tag: tag}
 			tr, ok := pending[key]
 			if !ok {
-				return nil, nil, fmt.Errorf("compositor: unexpected message from rank %d tag %d", from, tag)
+				return nil, fmt.Errorf("compositor: unexpected message from rank %d tag %d", from, tag)
 			}
 			delete(pending, key)
 			for i, k := range keys {
@@ -190,7 +267,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 					rep.MissingTransfers++
 					continue
 				}
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		for h := 0; h < step.PostHalvings; h++ {
@@ -198,10 +275,18 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		}
 	}
 
+	// A repaired plan stages buddy pairs as adjacent fragments that no
+	// transfer ever composites (zero-step meshes, P=2); coalesce before the
+	// completeness check.
+	overPix, err := st.CoalesceAll()
+	if err != nil {
+		return nil, err
+	}
+	rep.OverPixels += overPix
 	if opts.OnMissing == ComposePartial {
 		missing, err := st.FillGaps(sched.P)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		rep.MissingLayerPix += missing
 		if missing > 0 {
@@ -209,17 +294,17 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		}
 	}
 	if err := st.CheckComplete(sched.P); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	rep.FinalBlocks = st.Len()
 
 	var final *raster.Image
 	if opts.GatherRoot >= 0 {
 		endGather := tel.Span(me, telemetry.PhaseGather, telemetry.CatNetwork, telemetry.StepNone)
-		img, err := gather(c, st, rep, opts, local.W, local.H)
+		img, err := gather(c, st, rep, opts, epoch, dead, local.W, local.H)
 		endGather()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		final = img
 		if opts.Broadcast {
@@ -228,39 +313,53 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 			if c.Rank() == opts.GatherRoot {
 				payload = img.Pix
 			}
-			data, err := comm.Bcast(c, &seq, opts.GatherRoot, payload)
+			data, err := comm.BcastTimeout(c, &seq, opts.GatherRoot, payload, opts.RecvTimeout)
 			if err != nil {
-				return nil, nil, err
+				if !(opts.OnMissing == ComposePartial && comm.IsRecoverable(err)) {
+					return nil, fmt.Errorf("compositor: broadcast: %w", err)
+				}
+				rep.Degraded = true
 			}
-			if c.Rank() != opts.GatherRoot {
+			if c.Rank() != opts.GatherRoot && data != nil {
 				final = raster.New(local.W, local.H)
 				if len(data) != len(final.Pix) {
-					return nil, nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d",
+					return nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d",
 						len(data), len(final.Pix))
 				}
 				copy(final.Pix, data)
 			}
 		}
 	}
+	return final, nil
+}
+
+// finalizeReport snapshots the fabric totals and publishes the run-level
+// counters, so live /metrics and the rank-0 table see what Report sees. It
+// runs once per composition, after the last epoch.
+func finalizeReport(c comm.Comm, rep *Report, tel *telemetry.Recorder) {
 	rep.Comm = c.Counters()
-	// Run-level counters: the fabric traffic totals and the degradation
-	// tallies, so live /metrics and the rank-0 table see what Report sees.
+	me := rep.Rank
 	tel.Add(me, telemetry.CtrCommMsgsSent, rep.Comm.MsgsSent)
 	tel.Add(me, telemetry.CtrCommBytesSent, rep.Comm.BytesSent)
 	tel.Add(me, telemetry.CtrCommMsgsRecv, rep.Comm.MsgsRecv)
 	tel.Add(me, telemetry.CtrCommBytesRecv, rep.Comm.BytesRecv)
 	tel.Add(me, telemetry.CtrMissingTransfers, int64(rep.MissingTransfers))
-	return final, rep, nil
 }
 
-// tagFor packs (step, block) into a unique non-negative tag.
-func tagFor(step int, b schedule.Block) int {
-	return ((step+1)&0xFFFF)<<40 | (b.Tile&0xFFFF)<<24 | (b.Level&0xFF)<<16 | (b.Index & 0xFFFF)
+// tagFor packs (epoch, step, block) into a unique non-negative tag. Epochs
+// occupy bits 56+, so they stay unique up to epoch 63 — far beyond any
+// recovery budget.
+func tagFor(epoch, step int, b schedule.Block) int {
+	return epoch<<56 | ((step+1)&0xFFFF)<<40 | (b.Tile&0xFFFF)<<24 | (b.Level&0xFF)<<16 | (b.Index & 0xFFFF)
 }
 
-// tagGatherFinal is the tag of the final-block gather messages. Step tags
-// always carry step+1 >= 1 in bits 40+, so any value below 2^40 is free.
+// tagGatherFinal is the epoch-0 tag of the final-block gather messages.
+// Step tags always carry step+1 >= 1 in bits 40+, so any value below 2^40
+// is free (the replica-exchange tag lives there too).
 const tagGatherFinal = (1 << 39) + 0x6A74
+
+// gatherTag scopes the final-block gather to a recovery epoch.
+func gatherTag(epoch int) int { return epoch<<56 | tagGatherFinal }
 
 // dropFailedPeer, given a receive error, removes the pending transfers
 // sourced at the failed peer (if the error names one) and reports how many
@@ -346,7 +445,7 @@ func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fra
 	return incoming, nil
 }
 
-func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer) error {
+func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, epoch, step int, tr schedule.Transfer) error {
 	frags, err := st.Take(tr.Block)
 	if err != nil {
 		return err
@@ -360,7 +459,7 @@ func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *t
 	tel.AddStep(rep.Rank, step, telemetry.CtrRawBytes, raw)
 	tel.AddStep(rep.Rank, step, telemetry.CtrWireBytes, wire)
 	endSend := tel.Span(rep.Rank, telemetry.PhaseSend, telemetry.CatNetwork, step)
-	err = c.Send(tr.To, tagFor(step, tr.Block), buf)
+	err = c.Send(tr.To, tagFor(epoch, step, tr.Block), buf)
 	endSend()
 	return err
 }
@@ -383,14 +482,12 @@ func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Rec
 	return nil
 }
 
-// gather ships every rank's final blocks to root and assembles the final
-// image there. Block payloads travel raw: they are dense after compositing,
-// and the paper's composition-time figures exclude the gather as a common
-// cost across all methods. With a compose-partial policy a rank whose
-// blocks never arrive leaves its pixels blank and is counted in
-// rep.MissingGathers instead of stalling the root forever.
-func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, w, h int) (*raster.Image, error) {
-	root := opts.GatherRoot
+// encodeFinalBlocks serialises a rank's final blocks for the gather:
+// uvarint block count, then per block uvarint tile/level/index followed by
+// the raw composited pixels. Payloads travel raw: they are dense after
+// compositing, and the paper's composition-time figures exclude the gather
+// as a common cost across all methods.
+func encodeFinalBlocks(st *fragstore.Store) []byte {
 	var buf []byte
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
@@ -402,8 +499,50 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, w, h in
 		put(uint64(b.Index))
 		buf = append(buf, st.Frags(b)[0].Data...)
 	}
+	return buf
+}
+
+// insertFinalBlocks parses one rank's gather payload into out and returns
+// the pixels covered.
+func insertFinalBlocks(out *raster.Image, tiles []raster.Span, part []byte, from int) (int, error) {
+	nblocks, off := binary.Uvarint(part)
+	if off <= 0 {
+		return 0, fmt.Errorf("compositor: corrupt gather payload from rank %d", from)
+	}
+	rest := part[off:]
+	covered := 0
+	for i := uint64(0); i < nblocks; i++ {
+		var vals [3]uint64
+		for j := range vals {
+			v, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return covered, fmt.Errorf("compositor: corrupt gather block header from rank %d", from)
+			}
+			vals[j], rest = v, rest[k:]
+		}
+		b := schedule.Block{Tile: int(vals[0]), Level: int(vals[1]), Index: int(vals[2])}
+		span := b.Span(tiles)
+		n := span.Len() * raster.BytesPerPixel
+		if len(rest) < n {
+			return covered, fmt.Errorf("compositor: truncated gather block from rank %d", from)
+		}
+		out.InsertSpan(span, rest[:n])
+		rest = rest[n:]
+		covered += span.Len()
+	}
+	return covered, nil
+}
+
+// gather ships every rank's final blocks to root and assembles the final
+// image there. With a compose-partial policy a rank whose blocks never
+// arrive leaves its pixels blank and is counted in rep.MissingGathers
+// instead of stalling the root forever; ranks already agreed dead are
+// skipped outright.
+func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch int, dead []bool, w, h int) (*raster.Image, error) {
+	root := opts.GatherRoot
+	buf := encodeFinalBlocks(st)
 	if c.Rank() != root {
-		if err := c.Send(root, tagGatherFinal, buf); err != nil {
+		if err := c.Send(root, gatherTag(epoch), buf); err != nil {
 			if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 				rep.Degraded = true
 				rep.MissingGathers++
@@ -416,12 +555,15 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, w, h in
 	out := raster.New(w, h)
 	covered := 0
 	for r := 0; r < c.Size(); r++ {
+		if dead != nil && dead[r] {
+			continue
+		}
 		var part []byte
 		if r == root {
 			part = buf
 		} else {
 			var err error
-			part, err = c.RecvTimeout(r, tagGatherFinal, opts.RecvTimeout)
+			part, err = c.RecvTimeout(r, gatherTag(epoch), opts.RecvTimeout)
 			if err != nil {
 				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 					rep.Degraded = true
@@ -431,30 +573,11 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, w, h in
 				return nil, fmt.Errorf("compositor: gather from rank %d: %w", r, err)
 			}
 		}
-		nblocks, off := binary.Uvarint(part)
-		if off <= 0 {
-			return nil, fmt.Errorf("compositor: corrupt gather payload from rank %d", r)
+		n, err := insertFinalBlocks(out, st.Tiles(), part, r)
+		if err != nil {
+			return nil, err
 		}
-		rest := part[off:]
-		for i := uint64(0); i < nblocks; i++ {
-			var vals [3]uint64
-			for j := range vals {
-				v, k := binary.Uvarint(rest)
-				if k <= 0 {
-					return nil, fmt.Errorf("compositor: corrupt gather block header from rank %d", r)
-				}
-				vals[j], rest = v, rest[k:]
-			}
-			b := schedule.Block{Tile: int(vals[0]), Level: int(vals[1]), Index: int(vals[2])}
-			span := b.Span(st.Tiles())
-			n := span.Len() * raster.BytesPerPixel
-			if len(rest) < n {
-				return nil, fmt.Errorf("compositor: truncated gather block from rank %d", r)
-			}
-			out.InsertSpan(span, rest[:n])
-			rest = rest[n:]
-			covered += span.Len()
-		}
+		covered += n
 	}
 	if covered != w*h && !rep.Degraded {
 		return nil, fmt.Errorf("compositor: gathered blocks cover %d of %d pixels", covered, w*h)

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -150,9 +151,14 @@ type Config struct {
 	// RecvTimeout bounds every composition receive; zero waits forever.
 	RecvTimeout time.Duration
 	// OnMissing selects the degradation policy for missing contributions:
-	// "fail" (default, abort with a typed error) or "partial" (substitute
-	// blank tiles and flag the result).
+	// "fail" (default, abort with a typed error), "partial" (substitute
+	// blank tiles and flag the result) or "recover" (replicate sub-images
+	// to buddies, agree on failures and re-execute for a complete image;
+	// requires a RecvTimeout).
 	OnMissing string
+	// MaxRecoveries bounds the "recover" policy's re-executions; zero means
+	// the compositor default, negative forbids re-execution.
+	MaxRecoveries int
 	// Telemetry records per-rank render/composite/warp spans and counters
 	// for the frame. Nil (the default) disables recording.
 	Telemetry *telemetry.Recorder
@@ -166,11 +172,12 @@ func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) 
 		return compositor.Options{}, err
 	}
 	return compositor.Options{
-		Codec:       cdc,
-		GatherRoot:  0,
-		RecvTimeout: cfg.RecvTimeout,
-		OnMissing:   policy,
-		Telemetry:   cfg.Telemetry,
+		Codec:         cdc,
+		GatherRoot:    0,
+		RecvTimeout:   cfg.RecvTimeout,
+		OnMissing:     policy,
+		MaxRecoveries: cfg.MaxRecoveries,
+		Telemetry:     cfg.Telemetry,
 	}, nil
 }
 
@@ -242,6 +249,37 @@ func RenderParallel(cfg Config) (*FrameReport, error) {
 		return nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
 	}
 	return RenderParallelVolume(cfg, vol, xfer.ForDataset(cfg.Dataset))
+}
+
+// RenderParallelCtx is RenderParallel bounded by a context: a context
+// deadline caps the composition's RecvTimeout (so the frame cannot outlive
+// the request that asked for it), and a cancellation abandons the wait —
+// the worker ranks drain on their own, bounded by those receive deadlines.
+func RenderParallelCtx(ctx context.Context, cfg Config) (*FrameReport, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return nil, ctx.Err()
+		}
+		if cfg.RecvTimeout <= 0 || cfg.RecvTimeout > remain {
+			cfg.RecvTimeout = remain
+		}
+	}
+	type result struct {
+		rep *FrameReport
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := RenderParallel(cfg)
+		ch <- result{rep, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rep, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // RenderParallelVolume is RenderParallel with an explicit volume and

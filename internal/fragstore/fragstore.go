@@ -46,6 +46,49 @@ func New(rank int, sched *schedule.Schedule, local *raster.Image) *Store {
 	return st
 }
 
+// InsertLayer stages an extra rank's sub-image into every tile block —
+// how a buddy contributes a dead rank's replicated sub-image during a
+// recovery epoch. Fragments adjacent in depth to existing holdings are
+// composited immediately, so a buddy pair's two layers coalesce at staging
+// time. It returns the pixels passed through the over kernel.
+func (st *Store) InsertLayer(layer int, img *raster.Image) (int64, error) {
+	var overPix int64
+	for t := range st.tiles {
+		b := schedule.Block{Tile: t}
+		frags := append(st.held[b], Fragment{
+			Rng:  schedule.RankRange{Lo: layer, Hi: layer + 1},
+			Data: img.ExtractSpan(b.Span(st.tiles)),
+		})
+		merged, overs, err := MergeFragments(frags)
+		if err != nil {
+			return overPix, fmt.Errorf("fragstore: staging layer %d on rank %d: %w", layer, st.rank, err)
+		}
+		st.held[b] = merged
+		overPix += overs
+	}
+	return overPix, nil
+}
+
+// CoalesceAll composites every held block's adjacent fragments — the
+// no-transfer merges of a repaired schedule leave depth-adjacent fragments
+// co-resident that a normal run would have composited on receipt. It
+// returns the pixels passed through the over kernel.
+func (st *Store) CoalesceAll() (int64, error) {
+	var overPix int64
+	for b, frags := range st.held {
+		if len(frags) <= 1 {
+			continue
+		}
+		merged, overs, err := MergeFragments(frags)
+		if err != nil {
+			return overPix, fmt.Errorf("fragstore: coalescing block %v on rank %d: %w", b, st.rank, err)
+		}
+		st.held[b] = merged
+		overPix += overs
+	}
+	return overPix, nil
+}
+
 // Rank returns the owning rank.
 func (st *Store) Rank() int { return st.rank }
 

@@ -94,11 +94,27 @@ func (c *Census) MaxRankStep() []RankStep {
 // composited from every rank's layer exactly once in depth order. It
 // returns the traffic census and final block owners.
 func Validate(s *Schedule, npix int) (*Census, error) {
+	return ValidateFrom(s, npix, nil)
+}
+
+// ValidateFrom is Validate for a schedule whose initial layers are staged
+// at arbitrary ranks: owners[l] is the rank holding layer l's sub-image
+// (several layers may share an owner — a buddy staging a dead rank's
+// replica next to its own), and owners[l] < 0 marks a layer that is absent
+// entirely (unrecoverable under the repair planner's fallback). A nil
+// owners slice means the identity staging of a fresh composition. The
+// final invariant adapts: every block must end as the maximal
+// depth-contiguous runs of the layers that are present, held by exactly
+// one rank, with the blocks partitioning the image.
+func ValidateFrom(s *Schedule, npix int, owners []int) (*Census, error) {
 	if s.P < 1 {
 		return nil, fmt.Errorf("schedule %q: invalid P=%d", s.Name, s.P)
 	}
 	if npix < s.Tiles {
 		return nil, fmt.Errorf("schedule %q: image of %d pixels cannot be cut into %d tiles", s.Name, npix, s.Tiles)
+	}
+	if owners != nil && len(owners) != s.P {
+		return nil, fmt.Errorf("schedule %q: %d layer owners for P=%d", s.Name, len(owners), s.P)
 	}
 	tiles := s.TileSpans(npix)
 
@@ -106,8 +122,25 @@ func Validate(s *Schedule, npix int) (*Census, error) {
 	held := make([]map[Block][]RankRange, s.P)
 	for r := 0; r < s.P; r++ {
 		held[r] = map[Block][]RankRange{}
+	}
+	for l := 0; l < s.P; l++ {
+		owner := l
+		if owners != nil {
+			owner = owners[l]
+		}
+		if owner < 0 {
+			continue
+		}
+		if owner >= s.P {
+			return nil, fmt.Errorf("schedule %q: layer %d owned by out-of-range rank %d", s.Name, l, owner)
+		}
 		for t := 0; t < s.Tiles; t++ {
-			held[r][Block{Tile: t}] = []RankRange{{r, r + 1}}
+			b := Block{Tile: t}
+			merged, _, err := mergeFrags(held[owner][b], []RankRange{{l, l + 1}})
+			if err != nil {
+				return nil, fmt.Errorf("schedule %q: staging layer %d at rank %d: %w", s.Name, l, owner, err)
+			}
+			held[owner][b] = merged
 		}
 	}
 
@@ -161,14 +194,22 @@ func Validate(s *Schedule, npix int) (*Census, error) {
 		}
 	}
 
-	// Final invariant: every held block fully composited, spans partition
-	// the image, one holder per block.
+	// Final invariant: every held block composited over exactly the maximal
+	// depth-contiguous runs of present layers (the full [0,P) when no layer
+	// is absent), spans partition the image, one holder per block.
+	want := presentRuns(s.P, owners)
+	if len(want) == 0 {
+		return nil, fmt.Errorf("schedule %q: no layers present", s.Name)
+	}
 	var final []Holding
 	for r := 0; r < s.P; r++ {
 		for b, frags := range held[r] {
-			if len(frags) != 1 || frags[0] != (RankRange{0, s.P}) {
-				return nil, fmt.Errorf("schedule %q: rank %d ends with block %v composited over %v, want [0,%d)",
-					s.Name, r, b, frags, s.P)
+			if len(frags) == 0 {
+				continue
+			}
+			if !equalRuns(frags, want) {
+				return nil, fmt.Errorf("schedule %q: rank %d ends with block %v composited over %v, want %v",
+					s.Name, r, b, frags, want)
 			}
 			final = append(final, Holding{Rank: r, Block: b})
 		}
@@ -191,6 +232,38 @@ func Validate(s *Schedule, npix int) (*Census, error) {
 	}
 	census.Final = final
 	return census, nil
+}
+
+// presentRuns returns the maximal depth-contiguous runs of layers that are
+// present under the given owner map (all of [0, p) when owners is nil).
+func presentRuns(p int, owners []int) []RankRange {
+	if owners == nil {
+		return []RankRange{{0, p}}
+	}
+	var runs []RankRange
+	for l := 0; l < p; l++ {
+		if owners[l] < 0 {
+			continue
+		}
+		if n := len(runs); n > 0 && runs[n-1].Hi == l {
+			runs[n-1].Hi = l + 1
+		} else {
+			runs = append(runs, RankRange{l, l + 1})
+		}
+	}
+	return runs
+}
+
+func equalRuns(a, b []RankRange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func cloneFrags(f []RankRange) []RankRange {

@@ -37,6 +37,10 @@ const (
 	PhaseMerge  = "merge"  // depth-ordered over-compositing
 	PhaseGather = "gather" // final-block gather to the root
 	PhaseWarp   = "warp"   // final image warp on the root
+
+	PhaseReplicate = "replicate" // buddy replication exchange before step 1
+	PhaseAgree     = "agree"     // membership agreement rounds
+	PhaseRecover   = "recover"   // a recovery re-execution epoch
 )
 
 // Counter names recorded by the instrumented pipeline.
@@ -57,6 +61,13 @@ const (
 	CtrCorruptInjected  = "corrupt_injected"
 	CtrDialAttempts     = "tcp_dial_attempts" // mesh setup dials (incl. retries)
 	CtrPeerFailures     = "tcp_peer_failures" // connections poisoned mid-run
+
+	CtrReplicaMsgs      = "replica_msgs"       // buddy replica messages sent
+	CtrReplicaRawBytes  = "replica_raw_bytes"  // replica payload bytes before compression
+	CtrReplicaWireBytes = "replica_wire_bytes" // replica payload bytes after compression
+	CtrFailNotices      = "fail_notices"       // FAILED notices broadcast by this rank
+	CtrRecoveryEpochs   = "recovery_epochs"    // composition epochs re-executed after agreement
+	CtrRecoveredRanks   = "recovered_ranks"    // dead ranks whose layers were recovered from replicas
 )
 
 // StepNone marks a span or counter that is not scoped to a composition step
