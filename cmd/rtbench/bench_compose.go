@@ -1,0 +1,162 @@
+// Allocation-budget benchmarks for the composition hot path: every
+// method x codec x P cell runs real compositions over the in-process
+// fabric under testing.Benchmark with allocation reporting, emits the
+// machine-readable BENCH_compose.json, and (when a budget file is given)
+// fails the process if allocs/op regresses above the committed ceiling —
+// the CI tripwire that keeps the steady state allocation-free.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/compositor"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/transport/inproc"
+)
+
+// benchRow is one cell of the composition benchmark matrix.
+type benchRow struct {
+	Method      string  `json:"method"`
+	Codec       string  `json:"codec"`
+	P           int     `json:"p"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func (r benchRow) key() string { return fmt.Sprintf("%s/%s/p%d", r.Method, r.Codec, r.P) }
+
+// benchEdge is the composite image edge: small enough for a CI smoke run,
+// large enough that payload buffers land in real pool classes.
+const benchEdge = 128
+
+// benchSchedules builds the method column of the matrix for one P.
+func benchSchedules(p int) (map[string]*schedule.Schedule, error) {
+	rt, err := schedule.RT(p, 4)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := schedule.BinarySwap(p)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := schedule.Pipeline(p)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]*schedule.Schedule{"rt4": rt, "bs": bs, "pp": pp}, nil
+}
+
+// benchLayers renders deterministic pseudo-layers: banded alpha so the RLE
+// and TRLE codecs see both blank and dense runs, different per rank so the
+// composite is not degenerate.
+func benchLayers(p, w, h int) []*raster.Image {
+	layers := make([]*raster.Image, p)
+	for r := range layers {
+		img := raster.New(w, h)
+		for i := 0; i < len(img.Pix); i += raster.BytesPerPixel {
+			px := i / raster.BytesPerPixel
+			if (px/(w/4)+r)%3 == 0 {
+				continue // transparent band
+			}
+			img.Pix[i] = uint8((px + 17*r) % 256)
+			img.Pix[i+1] = uint8(128 + (px+r)%128)
+		}
+		layers[r] = img
+	}
+	return layers
+}
+
+// benchCompose runs the full matrix, writes rows to outPath and, when
+// budgetPath is non-empty, enforces the committed allocs/op ceilings.
+func benchCompose(outPath, budgetPath string) error {
+	codecs := []struct {
+		name string
+		cdc  codec.Codec
+	}{
+		{"raw", codec.Raw{}},
+		{"rle", codec.RLE{}},
+		{"trle", codec.TRLE{}},
+	}
+	var rows []benchRow
+	for _, p := range []int{4, 8} {
+		scheds, err := benchSchedules(p)
+		if err != nil {
+			return err
+		}
+		layers := benchLayers(p, benchEdge, benchEdge)
+		for _, method := range []string{"rt4", "bs", "pp"} {
+			sched := scheds[method]
+			for _, cc := range codecs {
+				opts := compositor.Options{Codec: cc.cdc, GatherRoot: 0}
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						err := inproc.Run(p, func(c comm.Comm) error {
+							_, _, err := compositor.Run(c, sched, layers[c.Rank()], opts)
+							return err
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				row := benchRow{
+					Method:      method,
+					Codec:       cc.name,
+					P:           p,
+					NsPerOp:     float64(res.NsPerOp()),
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					AllocsPerOp: res.AllocsPerOp(),
+				}
+				rows = append(rows, row)
+				fmt.Printf("%-16s %12.0f ns/op %12d B/op %8d allocs/op\n",
+					row.key(), row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", outPath, len(rows))
+
+	if budgetPath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		return fmt.Errorf("reading allocation budget: %w", err)
+	}
+	budget := map[string]int64{}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		return fmt.Errorf("parsing allocation budget: %w", err)
+	}
+	var failed int
+	for _, row := range rows {
+		limit, ok := budget[row.key()]
+		if !ok {
+			fmt.Printf("WARN %s: no committed budget, skipping\n", row.key())
+			continue
+		}
+		if row.AllocsPerOp > limit {
+			failed++
+			fmt.Printf("FAIL %s: %d allocs/op exceeds budget %d\n", row.key(), row.AllocsPerOp, limit)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark cells regressed above the allocation budget", failed)
+	}
+	fmt.Println("all cells within the allocation budget")
+	return nil
+}

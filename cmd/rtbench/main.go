@@ -33,8 +33,20 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outdir  = flag.String("outdir", "", "also write each table as a CSV file into this directory")
 		machine = flag.String("machine", "sp2", "simulated machine: sp2 (calibrated) or paper (Section 2.3 constants)")
+
+		benchComposeFlag = flag.Bool("bench-compose", false, "run the composition allocation benchmarks instead of experiments")
+		benchOut         = flag.String("bench-out", "BENCH_compose.json", "output path for -bench-compose results")
+		benchBudget      = flag.String("bench-budget", "", "allocation-budget JSON; with -bench-compose, exit nonzero if allocs/op regresses above it")
 	)
 	flag.Parse()
+
+	if *benchComposeFlag {
+		if err := benchCompose(*benchOut, *benchBudget); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.Registry() {

@@ -23,6 +23,11 @@ func (BSpan) Name() string { return "bspan" }
 
 // Encode implements Codec.
 func (BSpan) Encode(pix []uint8) []uint8 {
+	return BSpan{}.EncodeAppend(make([]uint8, 0, len(pix)+8), pix)
+}
+
+// EncodeAppend implements Codec.
+func (BSpan) EncodeAppend(dst, pix []uint8) []uint8 {
 	if len(pix)%raster.BytesPerPixel != 0 {
 		panic("codec: BSpan.Encode on odd-length pixel block")
 	}
@@ -35,17 +40,18 @@ func (BSpan) Encode(pix []uint8) []uint8 {
 	for hi > lo && pix[2*(hi-1)+1] == 0 {
 		hi--
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(hdr[:], uint64(lo))
-	k += binary.PutUvarint(hdr[k:], uint64(hi-lo))
-	out := make([]uint8, 0, k+(hi-lo)*raster.BytesPerPixel)
-	out = append(out, hdr[:k]...)
-	out = append(out, pix[2*lo:2*hi]...)
-	return out
+	dst = binary.AppendUvarint(dst, uint64(lo))
+	dst = binary.AppendUvarint(dst, uint64(hi-lo))
+	return append(dst, pix[2*lo:2*hi]...)
 }
 
 // Decode implements Codec.
 func (BSpan) Decode(enc []uint8, npix int) ([]uint8, error) {
+	return BSpan{}.DecodeInto(nil, enc, npix)
+}
+
+// DecodeInto implements Codec.
+func (BSpan) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 	lo, k := binary.Uvarint(enc)
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: bspan offset", ErrCorrupt)
@@ -62,7 +68,10 @@ func (BSpan) Decode(enc []uint8, npix int) ([]uint8, error) {
 	if uint64(len(enc)) != count*raster.BytesPerPixel {
 		return nil, fmt.Errorf("%w: bspan payload has %d bytes, want %d", ErrCorrupt, len(enc), count*raster.BytesPerPixel)
 	}
-	out := make([]uint8, npix*raster.BytesPerPixel)
+	// Only the interval is copied, so a recycled dst must be cleared to
+	// make the trimmed margins blank.
+	out := grow(dst, npix*raster.BytesPerPixel)
+	clear(out)
 	copy(out[lo*raster.BytesPerPixel:], enc)
 	return out, nil
 }

@@ -23,38 +23,76 @@ import (
 
 // Codec compresses and decompresses interleaved value+alpha pixel blocks.
 // Implementations must be deterministic and side-effect free.
+//
+// Buffer ownership: the legacy entry points Encode and Decode MAY return a
+// slice aliasing their input (Raw returns the input itself) — callers must
+// treat input and output as one buffer: mutating either invalidates the
+// other, and neither may be recycled while the other is live. The
+// append-style entry points never alias: EncodeAppend reads pix and writes
+// only dst's backing array, DecodeInto reads enc and writes only the
+// buffer it returns, so their results stay valid after the input buffer is
+// reused or returned to a pool.
 type Codec interface {
 	// Name identifies the codec in reports ("raw", "rle", "trle").
 	Name() string
-	// Encode compresses a pixel block (raster.BytesPerPixel bytes per pixel).
+	// Encode compresses a pixel block (raster.BytesPerPixel bytes per
+	// pixel). The result may alias pix.
 	Encode(pix []uint8) []uint8
-	// Decode expands an encoded block back to exactly npix pixels.
+	// Decode expands an encoded block back to exactly npix pixels. The
+	// result may alias enc.
 	Decode(enc []uint8, npix int) ([]uint8, error)
+	// EncodeAppend appends the encoding of pix to dst and returns the
+	// extended slice, growing it as needed. The result never aliases pix.
+	EncodeAppend(dst, pix []uint8) []uint8
+	// DecodeInto expands an encoded block into dst's backing array when its
+	// capacity suffices (allocating otherwise) and returns a slice of
+	// exactly npix pixels. The result never aliases enc, so enc may be
+	// recycled as soon as DecodeInto returns.
+	DecodeInto(dst, enc []uint8, npix int) ([]uint8, error)
+}
+
+// grow returns a slice of length n for DecodeInto-style writers, reusing
+// dst's backing array when it is large enough. Contents are unspecified.
+func grow(dst []uint8, n int) []uint8 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]uint8, n)
 }
 
 // ErrCorrupt is returned by Decode when the encoded stream is inconsistent
 // with the expected pixel count.
 var ErrCorrupt = errors.New("codec: corrupt stream")
 
-// Raw is the identity codec: blocks travel uncompressed.
+// Raw is the identity codec: blocks travel uncompressed. Its legacy entry
+// points exercise the interface's aliasing license to the fullest — both
+// return their input unchanged, so the uncompressed path never duplicates
+// a block just to relabel it.
 type Raw struct{}
 
 // Name implements Codec.
 func (Raw) Name() string { return "raw" }
 
-// Encode implements Codec.
-func (Raw) Encode(pix []uint8) []uint8 {
-	out := make([]uint8, len(pix))
-	copy(out, pix)
-	return out
-}
+// Encode implements Codec. The result is pix itself.
+func (Raw) Encode(pix []uint8) []uint8 { return pix }
 
-// Decode implements Codec.
+// Decode implements Codec. The result is enc itself.
 func (Raw) Decode(enc []uint8, npix int) ([]uint8, error) {
 	if len(enc) != npix*raster.BytesPerPixel {
 		return nil, fmt.Errorf("%w: raw block has %d bytes, want %d", ErrCorrupt, len(enc), npix*raster.BytesPerPixel)
 	}
-	out := make([]uint8, len(enc))
+	return enc, nil
+}
+
+// EncodeAppend implements Codec.
+func (Raw) EncodeAppend(dst, pix []uint8) []uint8 { return append(dst, pix...) }
+
+// DecodeInto implements Codec.
+func (Raw) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
+	if len(enc) != npix*raster.BytesPerPixel {
+		return nil, fmt.Errorf("%w: raw block has %d bytes, want %d", ErrCorrupt, len(enc), npix*raster.BytesPerPixel)
+	}
+	out := grow(dst, len(enc))
 	copy(out, enc)
 	return out, nil
 }

@@ -18,10 +18,19 @@ func (RLE) Name() string { return "rle" }
 
 // Encode implements Codec.
 func (RLE) Encode(pix []uint8) []uint8 {
+	return RLE{}.EncodeAppend(make([]uint8, 0, len(pix)/4+8), pix)
+}
+
+// Decode implements Codec.
+func (RLE) Decode(enc []uint8, npix int) ([]uint8, error) {
+	return RLE{}.DecodeInto(nil, enc, npix)
+}
+
+// EncodeAppend implements Codec.
+func (RLE) EncodeAppend(dst, pix []uint8) []uint8 {
 	if len(pix)%raster.BytesPerPixel != 0 {
 		panic("codec: RLE.Encode on odd-length pixel block")
 	}
-	out := make([]uint8, 0, len(pix)/4+8)
 	n := len(pix) / raster.BytesPerPixel
 	for i := 0; i < n; {
 		v, a := pix[2*i], pix[2*i+1]
@@ -29,29 +38,35 @@ func (RLE) Encode(pix []uint8) []uint8 {
 		for i+run < n && run < 255 && pix[2*(i+run)] == v && pix[2*(i+run)+1] == a {
 			run++
 		}
-		out = append(out, uint8(run), v, a)
+		dst = append(dst, uint8(run), v, a)
 		i += run
 	}
-	return out
+	return dst
 }
 
-// Decode implements Codec.
-func (RLE) Decode(enc []uint8, npix int) ([]uint8, error) {
+// DecodeInto implements Codec.
+func (RLE) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 	if len(enc)%3 != 0 {
 		return nil, fmt.Errorf("%w: RLE stream length %d not a multiple of 3", ErrCorrupt, len(enc))
 	}
-	out := make([]uint8, 0, npix*raster.BytesPerPixel)
+	want := npix * raster.BytesPerPixel
+	out := grow(dst, want)
+	w := 0
 	for i := 0; i < len(enc); i += 3 {
 		run, v, a := int(enc[i]), enc[i+1], enc[i+2]
 		if run == 0 {
 			return nil, fmt.Errorf("%w: RLE zero-length run", ErrCorrupt)
 		}
+		if w+run*raster.BytesPerPixel > want {
+			return nil, fmt.Errorf("%w: RLE decoded more than %d pixels", ErrCorrupt, npix)
+		}
 		for j := 0; j < run; j++ {
-			out = append(out, v, a)
+			out[w], out[w+1] = v, a
+			w += 2
 		}
 	}
-	if len(out) != npix*raster.BytesPerPixel {
-		return nil, fmt.Errorf("%w: RLE decoded %d pixels, want %d", ErrCorrupt, len(out)/raster.BytesPerPixel, npix)
+	if w != want {
+		return nil, fmt.Errorf("%w: RLE decoded %d pixels, want %d", ErrCorrupt, w/raster.BytesPerPixel, npix)
 	}
 	return out, nil
 }

@@ -31,15 +31,21 @@ const templatePixels = 4
 //
 //	uvarint(code count) | codes... | payload (value,alpha of non-blank pixels)
 func (TRLE) Encode(pix []uint8) []uint8 {
+	return TRLE{}.EncodeAppend(make([]uint8, 0, len(pix)/4+8), pix)
+}
+
+// EncodeAppend implements Codec. The template stream is walked twice — once
+// to count codes for the uvarint header, once to emit them — trading a
+// second cheap pass for zero intermediate slices.
+func (TRLE) EncodeAppend(dst, pix []uint8) []uint8 {
 	if len(pix)%raster.BytesPerPixel != 0 {
 		panic("codec: TRLE.Encode on odd-length pixel block")
 	}
 	n := len(pix) / raster.BytesPerPixel
 	groups := (n + templatePixels - 1) / templatePixels
 
-	// Pass 1: template per group (bit 3 = first pixel ... bit 0 = fourth).
-	templates := make([]uint8, groups)
-	for g := 0; g < groups; g++ {
+	// Template of one group (bit 3 = first pixel ... bit 0 = fourth).
+	tplAt := func(g int) uint8 {
 		var tpl uint8
 		for j := 0; j < templatePixels; j++ {
 			i := g*templatePixels + j
@@ -47,36 +53,45 @@ func (TRLE) Encode(pix []uint8) []uint8 {
 				tpl |= 1 << (templatePixels - 1 - j)
 			}
 		}
-		templates[g] = tpl
+		return tpl
 	}
-
-	// Pass 2: run-length the templates (<=16 per code) and gather payload.
-	codes := make([]uint8, 0, groups)
-	for g := 0; g < groups; {
-		tpl := templates[g]
-		run := 1
-		for g+run < groups && run < 16 && templates[g+run] == tpl {
+	// runAt is one step of the template run-length coding (<=16 per code).
+	runAt := func(g int) (tpl uint8, run int) {
+		tpl = tplAt(g)
+		run = 1
+		for g+run < groups && run < 16 && tplAt(g+run) == tpl {
 			run++
 		}
-		codes = append(codes, uint8(run-1)<<4|tpl)
-		g += run
+		return tpl, run
 	}
 
-	var hdr [binary.MaxVarintLen64]byte
-	hn := binary.PutUvarint(hdr[:], uint64(len(codes)))
-	out := make([]uint8, 0, hn+len(codes)+len(pix)/4)
-	out = append(out, hdr[:hn]...)
-	out = append(out, codes...)
+	ncodes := 0
+	for g := 0; g < groups; {
+		_, run := runAt(g)
+		ncodes++
+		g += run
+	}
+	dst = binary.AppendUvarint(dst, uint64(ncodes))
+	for g := 0; g < groups; {
+		tpl, run := runAt(g)
+		dst = append(dst, uint8(run-1)<<4|tpl)
+		g += run
+	}
 	for i := 0; i < n; i++ {
 		if pix[2*i+1] != 0 {
-			out = append(out, pix[2*i], pix[2*i+1])
+			dst = append(dst, pix[2*i], pix[2*i+1])
 		}
 	}
-	return out
+	return dst
 }
 
 // Decode implements Codec.
 func (TRLE) Decode(enc []uint8, npix int) ([]uint8, error) {
+	return TRLE{}.DecodeInto(nil, enc, npix)
+}
+
+// DecodeInto implements Codec.
+func (TRLE) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 	ncodes, hn := binary.Uvarint(enc)
 	if hn <= 0 {
 		return nil, fmt.Errorf("%w: TRLE header", ErrCorrupt)
@@ -87,7 +102,10 @@ func (TRLE) Decode(enc []uint8, npix int) ([]uint8, error) {
 	codes := enc[hn : hn+int(ncodes)]
 	payload := enc[hn+int(ncodes):]
 
-	out := make([]uint8, npix*raster.BytesPerPixel)
+	// The decode loop writes only non-blank pixels, so a recycled dst must
+	// be cleared to make every untouched pixel blank.
+	out := grow(dst, npix*raster.BytesPerPixel)
+	clear(out)
 	i := 0 // pixel cursor
 	p := 0 // payload cursor
 	for _, c := range codes {

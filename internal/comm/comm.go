@@ -19,6 +19,13 @@ import (
 // concurrently with itself. Tags distinguish in-flight messages between the
 // same pair of ranks: a (from, tag) pair must be unique among undelivered
 // messages. Negative tags are reserved for the collectives.
+//
+// Buffer ownership: Send does not retain payload after it returns — the
+// fabric copies it or writes it out, so the caller may immediately reuse or
+// recycle the buffer. Conversely, a payload returned by Recv/RecvAny (and
+// their timeout forms) is handed to the caller with exclusive ownership:
+// the fabric keeps no reference, so the caller may mutate it in place and,
+// once done, return it to internal/bufpool for recycling.
 type Comm interface {
 	// Rank is this endpoint's index in [0, Size).
 	Rank() int

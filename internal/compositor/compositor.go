@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/fragstore"
@@ -161,7 +162,9 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		return runRecover(c, sched, local, opts, cdc)
 	}
 	rep := &Report{Rank: c.Rank()}
-	final, err := runOnce(c, sched, local, opts, cdc, rep, 0, nil, nil, nil)
+	scr := newRunScratch()
+	final, err := runOnce(c, sched, local, opts, cdc, rep, 0, nil, nil, nil, scr)
+	scr.release()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,7 +180,7 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 // Tags are scoped by epoch so a re-execution never consumes traffic from
 // an aborted attempt.
 func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Options, cdc codec.Codec,
-	rep *Report, epoch int, owners []int, replicas map[int]*raster.Image, dead []bool) (*raster.Image, error) {
+	rep *Report, epoch int, owners []int, replicas map[int]*raster.Image, dead []bool, scr *runScratch) (*raster.Image, error) {
 	me := c.Rank()
 	st := fragstore.New(me, sched, local)
 	tel := opts.Telemetry
@@ -206,11 +209,12 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 		// order (RecvAny): the fabric buffers, so a stepwise schedule
 		// cannot deadlock, and arrival-order processing avoids
 		// head-of-line blocking when several messages are outstanding.
-		pending := map[comm.MsgKey]schedule.Transfer{}
+		clear(scr.pending)
+		pending := scr.pending
 		for _, tr := range step.Transfers {
 			switch {
 			case tr.From == me:
-				if err := send(c, st, cdc, rep, tel, epoch, si, tr); err != nil {
+				if err := send(c, st, cdc, rep, tel, epoch, si, tr, scr); err != nil {
 					if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 						rep.Degraded = true
 						rep.MissingTransfers++
@@ -222,10 +226,11 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 				pending[comm.MsgKey{From: tr.From, Tag: tagFor(epoch, si, tr.Block)}] = tr
 			}
 		}
-		keys := make([]comm.MsgKey, 0, len(pending))
+		keys := scr.keys[:0]
 		for k := range pending {
 			keys = append(keys, k)
 		}
+		scr.keys = keys[:0:cap(keys)]
 		for len(pending) > 0 {
 			endRecv := tel.Span(me, telemetry.PhaseRecv, telemetry.CatNetwork, si)
 			from, tag, payload, err := c.RecvAnyTimeout(keys, opts.RecvTimeout)
@@ -260,7 +265,7 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 					break
 				}
 			}
-			if err := merge(st, cdc, rep, tel, si, tr, payload); err != nil {
+			if err := merge(st, cdc, rep, tel, si, tr, payload, scr); err != nil {
 				if opts.OnMissing == ComposePartial && errors.Is(err, codec.ErrCorrupt) {
 					// A corrupt payload is discarded like a lost message.
 					rep.Degraded = true
@@ -301,11 +306,14 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 	var final *raster.Image
 	if opts.GatherRoot >= 0 {
 		endGather := tel.Span(me, telemetry.PhaseGather, telemetry.CatNetwork, telemetry.StepNone)
-		img, err := gather(c, st, rep, opts, epoch, dead, local.W, local.H)
+		img, err := gather(c, st, rep, opts, epoch, dead, local.W, local.H, scr)
 		endGather()
 		if err != nil {
 			return nil, err
 		}
+		// The gather consumed the composited blocks (copied onto the wire or
+		// into the final image); their buffers feed the next composition.
+		st.Release()
 		final = img
 		if opts.Broadcast {
 			var seq comm.Sequencer
@@ -327,6 +335,7 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 						len(data), len(final.Pix))
 				}
 				copy(final.Pix, data)
+				bufpool.Put(data)
 			}
 		}
 	}
@@ -385,22 +394,78 @@ func dropFailedPeer(err error, pending map[comm.MsgKey]schedule.Transfer, keys *
 	return dropped, true
 }
 
+// runScratch holds one rank's reusable buffers for a composition run. The
+// step loop re-slices these instead of allocating per message, so after the
+// first step warms them a steady-state step allocates nothing.
+type runScratch struct {
+	enc     []byte                            // assembled outgoing block message
+	fragEnc []byte                            // single-fragment codec output
+	dec     []fragstore.Fragment              // decoded-fragment list
+	keys    []comm.MsgKey                     // pending receive keys
+	pending map[comm.MsgKey]schedule.Transfer // pending transfers, cleared per step
+}
+
+func newRunScratch() *runScratch {
+	return &runScratch{pending: map[comm.MsgKey]schedule.Transfer{}}
+}
+
+// reserveEnc returns an empty slice with at least `need` capacity for the
+// outgoing-message buffer, drawing replacements from the pool so a fresh
+// scratch warms up without append-growth churn. `need` is a pre-sizing hint,
+// not a limit: append past it still works, it just reallocates.
+func (scr *runScratch) reserveEnc(need int) []byte {
+	if cap(scr.enc) < need {
+		bufpool.Put(scr.enc[:0])
+		scr.enc = bufpool.Get(need)[:0]
+	}
+	return scr.enc[:0]
+}
+
+// release returns the scratch's pooled buffers; the scratch warms up again
+// on next use. Call when a composition run completes.
+func (scr *runScratch) release() {
+	bufpool.Put(scr.enc[:0])
+	bufpool.Put(scr.fragEnc[:0])
+	scr.enc, scr.fragEnc = nil, nil
+}
+
+// encBound over-estimates the encoded size of a fragment's pixels: every
+// codec in this package emits at most 2x the raw bytes plus a small header
+// (RLE's worst case is 1.5x; TRLE's is 9/8x plus a uvarint). An external
+// codec that exceeds it only costs an append reallocation.
+func encBound(rawLen int) int { return 2*rawLen + 32 }
+
 // EncodeFragments serialises a fragment list with the given codec:
 // uvarint(count), then per fragment uvarint(lo), uvarint(hi),
 // uvarint(len(enc)), enc. It also reports the raw and encoded payload
 // sizes. The format is shared with the virtual-time simulator so both
 // account wire bytes identically.
 func EncodeFragments(frags []fragstore.Fragment, cdc codec.Codec) (buf []byte, raw, wire int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
-	put(uint64(len(frags)))
+	var fragScratch []byte
+	buf, raw, wire = EncodeFragmentsAppend(nil, frags, cdc, &fragScratch)
+	bufpool.Put(fragScratch[:0])
+	return buf, raw, wire
+}
+
+// EncodeFragmentsAppend is EncodeFragments appending to dst, producing the
+// identical wire format without allocating once dst and *fragScratch are
+// warm. Each fragment is encoded into *fragScratch first — the format puts
+// uvarint(len(enc)) before enc, so the length must be known before the
+// bytes land in the message — then copied in.
+func EncodeFragmentsAppend(dst []byte, frags []fragstore.Fragment, cdc codec.Codec, fragScratch *[]byte) (buf []byte, raw, wire int64) {
+	buf = binary.AppendUvarint(dst, uint64(len(frags)))
 	for _, f := range frags {
-		enc := cdc.Encode(f.Data)
+		if need := encBound(len(f.Data)); cap(*fragScratch) < need {
+			bufpool.Put((*fragScratch)[:0])
+			*fragScratch = bufpool.Get(need)[:0]
+		}
+		*fragScratch = cdc.EncodeAppend((*fragScratch)[:0], f.Data)
+		enc := *fragScratch
 		raw += int64(len(f.Data))
 		wire += int64(len(enc))
-		put(uint64(f.Rng.Lo))
-		put(uint64(f.Rng.Hi))
-		put(uint64(len(enc)))
+		buf = binary.AppendUvarint(buf, uint64(f.Rng.Lo))
+		buf = binary.AppendUvarint(buf, uint64(f.Rng.Hi))
+		buf = binary.AppendUvarint(buf, uint64(len(enc)))
 		buf = append(buf, enc...)
 	}
 	return buf, raw, wire
@@ -408,30 +473,55 @@ func EncodeFragments(frags []fragstore.Fragment, cdc codec.Codec) (buf []byte, r
 
 // DecodeFragments inverts EncodeFragments for a block of npix pixels. All
 // failures wrap codec.ErrCorrupt, so callers can treat a mangled payload
-// like a lost message under a degradation policy.
+// like a lost message under a degradation policy. Fragment buffers are
+// freshly allocated and never alias payload.
 func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fragment, error) {
+	return decodeFragments(nil, payload, cdc, npix, false)
+}
+
+// DecodeFragmentsInto is DecodeFragments appending to dst, drawing the
+// fragment buffers from the buffer pool: ownership of each Data buffer
+// passes to the caller (in practice, to the fragment store, which releases
+// it back to the pool when a composite drops it). The returned fragments
+// never alias payload, so the caller may recycle payload immediately.
+func DecodeFragmentsInto(dst []fragstore.Fragment, payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fragment, error) {
+	return decodeFragments(dst, payload, cdc, npix, true)
+}
+
+func decodeFragments(dst []fragstore.Fragment, payload []byte, cdc codec.Codec, npix int, pooled bool) ([]fragstore.Fragment, error) {
+	incoming := dst
+	fail := func(err error) ([]fragstore.Fragment, error) {
+		if pooled {
+			fragstore.ReleaseAll(incoming[len(dst):])
+		}
+		return nil, err
+	}
 	nfrags, off := binary.Uvarint(payload)
 	if off <= 0 {
-		return nil, fmt.Errorf("compositor: %w: block message header", codec.ErrCorrupt)
+		return fail(fmt.Errorf("compositor: %w: block message header", codec.ErrCorrupt))
 	}
 	rest := payload[off:]
-	incoming := make([]fragstore.Fragment, 0, nfrags)
 	for i := uint64(0); i < nfrags; i++ {
 		var vals [3]uint64
 		for j := range vals {
 			v, k := binary.Uvarint(rest)
 			if k <= 0 {
-				return nil, fmt.Errorf("compositor: %w: fragment header", codec.ErrCorrupt)
+				return fail(fmt.Errorf("compositor: %w: fragment header", codec.ErrCorrupt))
 			}
 			vals[j], rest = v, rest[k:]
 		}
 		n := vals[2]
 		if uint64(len(rest)) < n {
-			return nil, fmt.Errorf("compositor: %w: fragment length", codec.ErrCorrupt)
+			return fail(fmt.Errorf("compositor: %w: fragment length", codec.ErrCorrupt))
 		}
-		data, err := cdc.Decode(rest[:n], npix)
+		var buf []byte
+		if pooled {
+			buf = bufpool.Get(npix * raster.BytesPerPixel)
+		}
+		data, err := cdc.DecodeInto(buf, rest[:n], npix)
 		if err != nil {
-			return nil, fmt.Errorf("compositor: decoding fragment: %w", err)
+			bufpool.Put(buf)
+			return fail(fmt.Errorf("compositor: decoding fragment: %w", err))
 		}
 		rest = rest[n:]
 		incoming = append(incoming, fragstore.Fragment{
@@ -440,19 +530,27 @@ func DecodeFragments(payload []byte, cdc codec.Codec, npix int) ([]fragstore.Fra
 		})
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("compositor: %w: %d trailing bytes in block message", codec.ErrCorrupt, len(rest))
+		return fail(fmt.Errorf("compositor: %w: %d trailing bytes in block message", codec.ErrCorrupt, len(rest)))
 	}
 	return incoming, nil
 }
 
-func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, epoch, step int, tr schedule.Transfer) error {
+func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, epoch, step int, tr schedule.Transfer, scr *runScratch) error {
 	frags, err := st.Take(tr.Block)
 	if err != nil {
 		return err
 	}
+	need := 16
+	for _, f := range frags {
+		need += encBound(len(f.Data))
+	}
 	endEnc := tel.Span(rep.Rank, telemetry.PhaseEncode, telemetry.CatCompute, step)
-	buf, raw, wire := EncodeFragments(frags, cdc)
+	buf, raw, wire := EncodeFragmentsAppend(scr.reserveEnc(need), frags, cdc, &scr.fragEnc)
 	endEnc()
+	scr.enc = buf
+	// The message holds a copy of the fragment data (append-style encoders
+	// never alias their input), so the taken buffers recycle immediately.
+	fragstore.ReleaseAll(frags)
 	rep.RawBytes += raw
 	rep.WireBytes += wire
 	tel.AddStep(rep.Rank, step, telemetry.CtrMsgs, 1)
@@ -464,13 +562,17 @@ func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *t
 	return err
 }
 
-func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer, payload []byte) error {
+func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer, payload []byte, scr *runScratch) error {
 	endDec := tel.Span(rep.Rank, telemetry.PhaseDecode, telemetry.CatCompute, step)
-	incoming, err := DecodeFragments(payload, cdc, st.Span(tr.Block).Len())
+	incoming, err := DecodeFragmentsInto(scr.dec[:0], payload, cdc, st.Span(tr.Block).Len())
 	endDec()
+	// Decoded fragments never alias the wire payload, so the fabric's
+	// receive buffer recycles here — on the corrupt path too.
+	bufpool.Put(payload)
 	if err != nil {
 		return fmt.Errorf("block %v from rank %d: %w", tr.Block, tr.From, err)
 	}
+	scr.dec = incoming[:0]
 	endMerge := tel.Span(rep.Rank, telemetry.PhaseMerge, telemetry.CatCompute, step)
 	overPix, err := st.Merge(tr.Block, incoming)
 	endMerge()
@@ -482,21 +584,18 @@ func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Rec
 	return nil
 }
 
-// encodeFinalBlocks serialises a rank's final blocks for the gather:
-// uvarint block count, then per block uvarint tile/level/index followed by
-// the raw composited pixels. Payloads travel raw: they are dense after
-// compositing, and the paper's composition-time figures exclude the gather
-// as a common cost across all methods.
-func encodeFinalBlocks(st *fragstore.Store) []byte {
-	var buf []byte
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+// encodeFinalBlocks serialises a rank's final blocks for the gather,
+// appending to dst: uvarint block count, then per block uvarint
+// tile/level/index followed by the raw composited pixels. Payloads travel
+// raw: they are dense after compositing, and the paper's composition-time
+// figures exclude the gather as a common cost across all methods.
+func encodeFinalBlocks(dst []byte, st *fragstore.Store) []byte {
 	blocks := st.Blocks()
-	put(uint64(len(blocks)))
+	buf := binary.AppendUvarint(dst, uint64(len(blocks)))
 	for _, b := range blocks {
-		put(uint64(b.Tile))
-		put(uint64(b.Level))
-		put(uint64(b.Index))
+		buf = binary.AppendUvarint(buf, uint64(b.Tile))
+		buf = binary.AppendUvarint(buf, uint64(b.Level))
+		buf = binary.AppendUvarint(buf, uint64(b.Index))
 		buf = append(buf, st.Frags(b)[0].Data...)
 	}
 	return buf
@@ -538,9 +637,14 @@ func insertFinalBlocks(out *raster.Image, tiles []raster.Span, part []byte, from
 // arrive leaves its pixels blank and is counted in rep.MissingGathers
 // instead of stalling the root forever; ranks already agreed dead are
 // skipped outright.
-func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch int, dead []bool, w, h int) (*raster.Image, error) {
+func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch int, dead []bool, w, h int, scr *runScratch) (*raster.Image, error) {
 	root := opts.GatherRoot
-	buf := encodeFinalBlocks(st)
+	need := 16
+	for _, b := range st.Blocks() {
+		need += len(st.Frags(b)[0].Data) + 32
+	}
+	buf := encodeFinalBlocks(scr.reserveEnc(need), st)
+	scr.enc = buf[:0:cap(buf)]
 	if c.Rank() != root {
 		if err := c.Send(root, gatherTag(epoch), buf); err != nil {
 			if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
@@ -576,6 +680,9 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch i
 		n, err := insertFinalBlocks(out, st.Tiles(), part, r)
 		if err != nil {
 			return nil, err
+		}
+		if r != root {
+			bufpool.Put(part) // InsertSpan copied the pixels out
 		}
 		covered += n
 	}

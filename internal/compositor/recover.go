@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/fragstore"
@@ -68,6 +69,7 @@ type rexec struct {
 	tel   *telemetry.Recorder
 	me    int
 	mem   *comm.Membership
+	scr   *runScratch // reused across epochs; an abort does not invalidate it
 
 	// noticeSent guards the one FAILED notice this rank may broadcast per
 	// epoch (the notice tag is unique per epoch).
@@ -121,7 +123,9 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		tel:   opts.Telemetry,
 		me:    c.Rank(),
 		mem:   comm.NewMembership(sched.P),
+		scr:   newRunScratch(),
 	}
+	defer rx.scr.release()
 	replicas, aborted, err := rx.exchangeReplicas()
 	if err != nil {
 		return nil, nil, err
@@ -201,7 +205,7 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 	fopts := opts
 	fopts.OnMissing = ComposePartial
 	rx.rep.resetDegradation()
-	final, err = runOnce(c, plan, local, fopts, cdc, rx.rep, rx.mem.Epoch(), owners, replicas, dead)
+	final, err = runOnce(c, plan, local, fopts, cdc, rx.rep, rx.mem.Epoch(), owners, replicas, dead, rx.scr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -311,11 +315,15 @@ func (rx *rexec) exchangeReplicas() (map[int]*raster.Image, bool, error) {
 		if tag == comm.NoticeTag(rx.mem.Epoch()) {
 			// Another rank aborted the epoch; keep collecting replicas —
 			// they are sent exactly once and may be the only copies.
+			bufpool.Put(payload)
 			aborted = true
 			continue
 		}
 		delete(pending, from)
 		img, derr := decodeReplica(payload, rx.cdc, rx.local.W, rx.local.H)
+		// decodeReplica copies the pixels into a fresh image (even when the
+		// codec aliases its input), so the wire buffer recycles either way.
+		bufpool.Put(payload)
 		if derr != nil {
 			// A corrupt replica is dropped: the primary path does not need
 			// it, and recovery of `from` would fall back to compose-partial.
@@ -357,11 +365,12 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 		for h := 0; h < step.PreHalvings; h++ {
 			st.HalveAll()
 		}
-		pending := map[comm.MsgKey]schedule.Transfer{}
+		clear(rx.scr.pending)
+		pending := rx.scr.pending
 		for _, tr := range step.Transfers {
 			switch {
 			case tr.From == me:
-				if err := send(rx.c, st, rx.cdc, rx.rep, rx.tel, epoch, si, tr); err != nil {
+				if err := send(rx.c, st, rx.cdc, rx.rep, rx.tel, epoch, si, tr, rx.scr); err != nil {
 					if comm.IsRecoverable(err) {
 						return nil, rx.abort(suspectsOf(err, tr.To)), nil
 					}
@@ -372,11 +381,12 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 			}
 		}
 		for len(pending) > 0 {
-			keys := make([]comm.MsgKey, 0, len(pending))
+			keys := rx.scr.keys[:0]
 			for k := range pending {
 				keys = append(keys, k)
 			}
 			keys = append(keys, rx.mem.NoticeKeys(me)...)
+			rx.scr.keys = keys[:0]
 			endRecv := rx.tel.Span(me, telemetry.PhaseRecv, telemetry.CatNetwork, si)
 			from, tag, payload, err := rx.c.RecvAnyTimeout(keys, rx.opts.RecvTimeout)
 			endRecv()
@@ -394,6 +404,7 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 			if tag == noticeTag {
 				// A peer already broadcast this epoch's failure; no need to
 				// repeat it.
+				bufpool.Put(payload)
 				return nil, true, nil
 			}
 			key := comm.MsgKey{From: from, Tag: tag}
@@ -402,7 +413,7 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 				return nil, false, fmt.Errorf("compositor: unexpected message from rank %d tag %d", from, tag)
 			}
 			delete(pending, key)
-			if err := merge(st, rx.cdc, rx.rep, rx.tel, si, tr, payload); err != nil {
+			if err := merge(st, rx.cdc, rx.rep, rx.tel, si, tr, payload, rx.scr); err != nil {
 				if errors.Is(err, codec.ErrCorrupt) {
 					// The payload is unrecoverable but the sender is alive: a
 					// clean re-execution may succeed.
@@ -430,24 +441,29 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 
 	root := rx.opts.GatherRoot
 	if root < 0 {
+		st.Release()
 		return nil, false, nil
 	}
 	endGather := rx.tel.Span(me, telemetry.PhaseGather, telemetry.CatNetwork, telemetry.StepNone)
 	defer endGather()
 	if me != root {
-		if err := rx.c.Send(root, gatherTag(epoch), encodeFinalBlocks(st)); err != nil {
+		rx.scr.enc = encodeFinalBlocks(rx.scr.enc[:0], st)
+		if err := rx.c.Send(root, gatherTag(epoch), rx.scr.enc); err != nil {
 			if comm.IsRecoverable(err) {
 				return nil, rx.abort(suspectsOf(err, root)), nil
 			}
 			return nil, false, fmt.Errorf("compositor: gather send: %w", err)
 		}
+		st.Release()
 		return nil, false, nil
 	}
+	rx.scr.enc = encodeFinalBlocks(rx.scr.enc[:0], st)
 	out := raster.New(rx.local.W, rx.local.H)
-	covered, err := insertFinalBlocks(out, st.Tiles(), encodeFinalBlocks(st), me)
+	covered, err := insertFinalBlocks(out, st.Tiles(), rx.scr.enc, me)
 	if err != nil {
 		return nil, false, err
 	}
+	st.Release()
 	pendingRanks := map[int]bool{}
 	for r := 0; r < rx.c.Size(); r++ {
 		if r != root && rx.mem.Alive(r) {
@@ -473,6 +489,7 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 			return nil, false, fmt.Errorf("compositor: gather: %w", err)
 		}
 		if tag == noticeTag {
+			bufpool.Put(part)
 			return nil, true, nil
 		}
 		delete(pendingRanks, from)
@@ -480,6 +497,7 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 		if err != nil {
 			return nil, false, err
 		}
+		bufpool.Put(part) // InsertSpan copied the pixels out
 		covered += n
 	}
 	if covered != rx.local.W*rx.local.H {
@@ -536,6 +554,7 @@ func (rx *rexec) commitBroadcast(final *raster.Image) (*raster.Image, error) {
 		return nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d", len(data), len(img.Pix))
 	}
 	copy(img.Pix, data)
+	bufpool.Put(data)
 	return img, nil
 }
 

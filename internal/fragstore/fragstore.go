@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/compose"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
@@ -40,10 +41,18 @@ func New(rank int, sched *schedule.Schedule, local *raster.Image) *Store {
 		b := schedule.Block{Tile: t}
 		st.held[b] = []Fragment{{
 			Rng:  schedule.RankRange{Lo: rank, Hi: rank + 1},
-			Data: local.ExtractSpan(b.Span(st.tiles)),
+			Data: copySpan(local, b.Span(st.tiles)),
 		}}
 	}
 	return st
+}
+
+// copySpan stages a span of an image into a pooled buffer, so staging
+// participates in the same recycle cycle as every other store buffer.
+func copySpan(img *raster.Image, s raster.Span) []byte {
+	data := bufpool.Get(s.Len() * raster.BytesPerPixel)
+	copy(data, img.SpanBytes(s))
+	return data
 }
 
 // InsertLayer stages an extra rank's sub-image into every tile block —
@@ -57,7 +66,7 @@ func (st *Store) InsertLayer(layer int, img *raster.Image) (int64, error) {
 		b := schedule.Block{Tile: t}
 		frags := append(st.held[b], Fragment{
 			Rng:  schedule.RankRange{Lo: layer, Hi: layer + 1},
-			Data: img.ExtractSpan(b.Span(st.tiles)),
+			Data: copySpan(img, b.Span(st.tiles)),
 		})
 		merged, overs, err := MergeFragments(frags)
 		if err != nil {
@@ -128,6 +137,10 @@ func (st *Store) Merge(b schedule.Block, incoming []Fragment) (int64, error) {
 
 // HalveAll splits every held block into its two children. The children
 // alias disjoint halves of the parent buffers, so no pixel data is copied.
+// The front half is capacity-capped (three-index sliced) so each child's
+// capacity witnesses exactly its exclusive region: either half can later be
+// released to the buffer pool without the pool ever handing out bytes the
+// sibling still owns.
 func (st *Store) HalveAll() {
 	next := make(map[schedule.Block][]Fragment, 2*len(st.held))
 	for b, frags := range st.held {
@@ -136,7 +149,7 @@ func (st *Store) HalveAll() {
 		f0 := make([]Fragment, len(frags))
 		f1 := make([]Fragment, len(frags))
 		for i, f := range frags {
-			f0[i] = Fragment{Rng: f.Rng, Data: f.Data[:cut]}
+			f0[i] = Fragment{Rng: f.Rng, Data: f.Data[:cut:cut]}
 			f1[i] = Fragment{Rng: f.Rng, Data: f.Data[cut:]}
 		}
 		next[c0], next[c1] = f0, f1
@@ -213,8 +226,18 @@ func (st *Store) CheckComplete(p int) error {
 // ones (front over back), returning the coalesced list and the number of
 // pixels composited. Overlapping ranges are an error: some layer would be
 // composited twice.
+//
+// Store buffers are exclusively owned (staging copies, decode copies,
+// halving partitions capacities), so the buffer a composite drops is
+// returned to the pool here — the recycling half of the steady-state cycle.
 func MergeFragments(frags []Fragment) ([]Fragment, int64, error) {
-	sort.Slice(frags, func(i, j int) bool { return frags[i].Rng.Lo < frags[j].Rng.Lo })
+	// Fragment lists are a handful of entries; insertion sort keeps the hot
+	// path free of sort.Slice's closure and reflection allocations.
+	for i := 1; i < len(frags); i++ {
+		for j := i; j > 0 && frags[j].Rng.Lo < frags[j-1].Rng.Lo; j-- {
+			frags[j], frags[j-1] = frags[j-1], frags[j]
+		}
+	}
 	var overPix int64
 	out := frags[:1]
 	for _, f := range frags[1:] {
@@ -226,6 +249,7 @@ func MergeFragments(frags []Fragment) ([]Fragment, int64, error) {
 			// last is in front: composite last over f, adopting f's buffer
 			// so sibling halves sharing last's parent buffer stay intact.
 			overPix += int64(compose.OverU8(f.Data, last.Data, f.Data))
+			bufpool.Put(last.Data)
 			last.Rng.Hi = f.Rng.Hi
 			last.Data = f.Data
 		default:
@@ -233,6 +257,26 @@ func MergeFragments(frags []Fragment) ([]Fragment, int64, error) {
 		}
 	}
 	return out, overPix, nil
+}
+
+// Release returns every held fragment buffer to the pool and empties the
+// store. Call only once the composited data has been fully consumed (e.g.
+// gathered and copied into the final image).
+func (st *Store) Release() {
+	for _, frags := range st.held {
+		ReleaseAll(frags)
+	}
+	clear(st.held)
+}
+
+// ReleaseAll returns every fragment's buffer to the pool and clears the
+// Data pointers. Call only when the fragment data has been fully consumed
+// (e.g. encoded onto the wire) and no other reference remains.
+func ReleaseAll(frags []Fragment) {
+	for i := range frags {
+		bufpool.Put(frags[i].Data)
+		frags[i].Data = nil
+	}
 }
 
 func ranges(frags []Fragment) []schedule.RankRange {

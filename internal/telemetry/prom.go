@@ -73,8 +73,8 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			return err
 		}
 		for _, k := range keys {
-			if _, err := fmt.Fprintf(w, "rtcomp_phase_seconds_total{rank=\"%d\",phase=%q} %g\n",
-				k.rank, sanitizeMetric(k.phase), secs[k]); err != nil {
+			if _, err := fmt.Fprintf(w, "rtcomp_phase_seconds_total{rank=\"%d\",phase=\"%s\"} %g\n",
+				k.rank, escapeLabelValue(k.phase), secs[k]); err != nil {
 				return err
 			}
 		}
@@ -82,13 +82,39 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			return err
 		}
 		for _, k := range keys {
-			if _, err := fmt.Fprintf(w, "rtcomp_phase_spans_total{rank=\"%d\",phase=%q} %d\n",
-				k.rank, sanitizeMetric(k.phase), count[k]); err != nil {
+			if _, err := fmt.Fprintf(w, "rtcomp_phase_spans_total{rank=\"%d\",phase=\"%s\"} %d\n",
+				k.rank, escapeLabelValue(k.phase), count[k]); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// escapeLabelValue escapes a string for use inside a quoted Prometheus label
+// value, where backslash, double-quote and newline must be escaped but every
+// other character — including the dots of phase names like "recv.wait" — is
+// legal and passes through verbatim. (The metric-name alphabet does not apply
+// to label values; mapping them through sanitizeMetric would mangle the
+// phase, e.g. "recv.wait" into "recv_wait".)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
 }
 
 // sanitizeMetric maps an arbitrary counter name onto the Prometheus metric

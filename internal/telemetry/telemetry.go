@@ -68,6 +68,10 @@ const (
 	CtrFailNotices      = "fail_notices"       // FAILED notices broadcast by this rank
 	CtrRecoveryEpochs   = "recovery_epochs"    // composition epochs re-executed after agreement
 	CtrRecoveredRanks   = "recovered_ranks"    // dead ranks whose layers were recovered from replicas
+
+	CtrPoolHit   = "pool_hit"   // buffer-pool gets served from a free list
+	CtrPoolMiss  = "pool_miss"  // buffer-pool gets that had to allocate
+	CtrPoolBytes = "pool_bytes" // bytes served from recycled buffers
 )
 
 // StepNone marks a span or counter that is not scoped to a composition step

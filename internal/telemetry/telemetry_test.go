@@ -426,3 +426,34 @@ func keysOf(m map[string]json.RawMessage) []string {
 	}
 	return out
 }
+
+// TestWriteMetricsPhaseLabelEscaping pins the label-value rules for phase
+// names: a label value is not a metric name, so legal-but-non-alphanumeric
+// characters (the dots of "recv.wait") must pass through verbatim, while the
+// three characters the text format cannot carry raw inside quotes —
+// backslash, double quote, newline — must be escaped.
+func TestWriteMetricsPhaseLabelEscaping(t *testing.T) {
+	r := New()
+	r.Span(0, "recv.wait", CatNetwork, 0)()
+	r.Span(1, "odd\"phase\\with\nall", CatCompute, 0)()
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `phase="recv_wait"`) {
+		t.Fatalf("dotted phase was mangled through the metric-name alphabet:\n%s", out)
+	}
+	for _, want := range []string{
+		`rtcomp_phase_spans_total{rank="0",phase="recv.wait"} 1`,
+		`rtcomp_phase_spans_total{rank="1",phase="odd\"phase\\with\nall"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\nall\"}") {
+		t.Fatalf("raw newline leaked into a label value:\n%s", out)
+	}
+}

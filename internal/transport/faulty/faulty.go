@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
 )
@@ -138,9 +139,10 @@ func (e *Endpoint) roll(prob float64) bool {
 // crcTable is the Castagnoli polynomial table used for frame trailers.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// frame appends the CRC-32C trailer the receive path validates.
+// frame copies payload into a pooled buffer and appends the CRC-32C
+// trailer the receive path validates. The caller owns the returned buffer.
 func frame(payload []byte) []byte {
-	out := make([]byte, len(payload)+4)
+	out := bufpool.Get(len(payload) + 4)
 	copy(out, payload)
 	binary.BigEndian.PutUint32(out[len(payload):], crc32.Checksum(payload, crcTable))
 	return out
@@ -218,6 +220,7 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if lost {
 		// A datagram sender is not told about loss; the receiver's deadline
 		// is the only witness.
+		bufpool.Put(buf)
 		return nil
 	}
 	// Pay the retransmission backoff for the attempts that were dropped.
@@ -227,19 +230,24 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	}
 	deliver := func() error { return e.inner.Send(to, tag, buf) }
 	if delay > 0 {
+		// The AfterFunc closures keep referencing buf after Send returns,
+		// so a delayed frame is left to the garbage collector instead of
+		// the pool — an injected-jitter-only cost.
 		time.AfterFunc(delay, func() { deliver() })
 		if dup {
 			time.AfterFunc(delay+delay/2+1, func() { deliver() })
 		}
 		return nil
 	}
-	if err := deliver(); err != nil {
-		return err
+	// The inner fabric does not retain the frame past Send (it copies or
+	// writes it out), so once every synchronous delivery is done the frame
+	// can be recycled.
+	err := deliver()
+	if err == nil && dup {
+		err = deliver()
 	}
-	if dup {
-		return deliver()
-	}
-	return nil
+	bufpool.Put(buf)
+	return err
 }
 
 // recvFiltered retrieves messages from the inner fabric, unframes them and
@@ -270,12 +278,16 @@ func (e *Endpoint) recvFiltered(keys []comm.MsgKey, timeout time.Duration) (int,
 		}
 		payload, ok := unframe(buf)
 		if !ok {
+			// The rejected frame is ours to recycle; the caller never sees it.
+			bufpool.Put(buf)
 			e.mu.Lock()
 			e.stats.RejectedCRC++
 			e.mu.Unlock()
 			e.plan.Telemetry.Add(e.inner.Rank(), telemetry.CtrCRCRejects, 1)
 			continue
 		}
+		// payload is buf minus the trailer with capacity intact, so the
+		// caller's eventual bufpool.Put recycles the whole frame.
 		return from, tag, payload, nil
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/transport/mbox"
 )
@@ -61,10 +62,13 @@ func (e *endpoint) Send(to, tag int, payload []byte) error {
 	if to < 0 || to >= e.fabric.size {
 		return errors.New("inproc: destination rank out of range")
 	}
-	// Copy so the sender may reuse its buffer, as with a real network.
-	buf := make([]byte, len(payload))
+	// Copy so the sender may reuse its buffer, as with a real network. The
+	// copy is pooled: ownership passes to the mailbox and on to the
+	// receiver, who may return it to the pool after use.
+	buf := bufpool.Get(len(payload))
 	copy(buf, payload)
 	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf}); err != nil {
+		bufpool.Put(buf)
 		if errors.Is(err, mbox.ErrClosed) {
 			// The destination rank has shut down its endpoint: that is a
 			// peer failure, typed the same way the TCP fabric types it.
@@ -110,14 +114,14 @@ func (e *endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
 
 // RecvAnyTimeout implements comm.Comm.
 func (e *endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
-	mk := make([]mbox.Key, len(keys))
-	for i, k := range keys {
+	for _, k := range keys {
 		if k.From < 0 || k.From >= e.fabric.size {
 			return 0, 0, nil, errors.New("inproc: source rank out of range")
 		}
-		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
 	}
-	msg, err := e.fabric.boxes[e.rank].GetAnyUntil(mk, deadlineFor(timeout))
+	// mbox.Key aliases comm.MsgKey, so the receive set passes straight
+	// through without a conversion allocation.
+	msg, err := e.fabric.boxes[e.rank].GetAnyUntil(keys, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: keys, Timeout: timeout}

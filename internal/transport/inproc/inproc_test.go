@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 )
 
@@ -236,6 +237,57 @@ func TestReduceSumRepeated(t *testing.T) {
 			if c.Rank() == 0 && got[0] != 4 {
 				return fmt.Errorf("round %d: sum %d", i, got[0])
 			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolHandoffExclusivity is the race certificate for the buffer-ownership
+// contract between the pool, the fabric and the mailbox: a sender recycles
+// its payload immediately after Send (the fabric copies), a receiver
+// scribbles over and recycles every payload it gets (the mailbox drops its
+// reference on retrieval). With both sides churning the same pool size class
+// as fast as they can, any retained reference — a stale mailbox slot, a
+// Send that aliases instead of copying — surfaces as a data race under -race
+// or as a torn pattern check.
+func TestPoolHandoffExclusivity(t *testing.T) {
+	const n, size = 4000, 1024
+	err := Run(2, func(c comm.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				buf := bufpool.Get(size)
+				for j := range buf {
+					buf[j] = byte(i)
+				}
+				if err := c.Send(1, 9, buf); err != nil {
+					return err
+				}
+				// Send does not retain payload: this Put hands the buffer to
+				// the next Get, which will overwrite it while message i may
+				// still sit undelivered in rank 1's mailbox.
+				bufpool.Put(buf)
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			payload, err := c.Recv(0, 9)
+			if err != nil {
+				return err
+			}
+			for j, b := range payload {
+				if b != byte(i) {
+					return fmt.Errorf("message %d byte %d = %#x, want %#x (pooled buffer reused while in flight)", i, j, b, byte(i))
+				}
+			}
+			// The payload is exclusively ours: scribbling must not disturb
+			// any message still pending in the mailbox.
+			for j := range payload {
+				payload[j] = 0xEE
+			}
+			bufpool.Put(payload)
 		}
 		return nil
 	})

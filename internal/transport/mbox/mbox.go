@@ -8,9 +8,14 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"rtcomp/internal/comm"
 )
 
-// Message is one stored message.
+// Message is one stored message. The mailbox stores the Payload slice as
+// given — it never copies — and forgets it entirely once a Get retrieves
+// it, so payload buffer ownership transfers Put → mailbox → Get caller and
+// the caller may recycle the buffer after use.
 type Message struct {
 	From, Tag int
 	Payload   []byte
@@ -70,7 +75,7 @@ func (m *Mailbox) GetUntil(from, tag int, deadline time.Time) ([]byte, error) {
 	for {
 		for i, p := range m.pending {
 			if p.From == from && p.Tag == tag {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				m.remove(i)
 				return p.Payload, nil
 			}
 		}
@@ -87,10 +92,20 @@ func (m *Mailbox) GetUntil(from, tag int, deadline time.Time) ([]byte, error) {
 	}
 }
 
-// Key identifies one expected message.
-type Key struct {
-	From, Tag int
+// remove deletes pending[i] preserving order and zeroes the vacated tail
+// slot, so the mailbox drops its payload reference the moment a message is
+// handed to a Get caller (who may recycle the buffer immediately).
+func (m *Mailbox) remove(i int) {
+	copy(m.pending[i:], m.pending[i+1:])
+	last := len(m.pending) - 1
+	m.pending[last] = Message{}
+	m.pending = m.pending[:last]
 }
+
+// Key identifies one expected message. It is an alias for comm.MsgKey so
+// fabrics can pass their []comm.MsgKey receive sets straight through
+// without a per-call conversion allocation.
+type Key = comm.MsgKey
 
 // GetAny blocks until a message matching any of the keys is available and
 // returns it — the arrival-order receive used to avoid head-of-line
@@ -102,25 +117,25 @@ func (m *Mailbox) GetAny(keys []Key) (Message, error) {
 // GetAnyUntil is GetAny with a deadline: once the deadline passes without a
 // match it returns ErrTimeout. A zero deadline waits forever.
 func (m *Mailbox) GetAnyUntil(keys []Key, deadline time.Time) (Message, error) {
-	want := make(map[Key]bool, len(keys))
-	for _, k := range keys {
-		want[k] = true
-	}
 	stop := m.wakeAt(deadline)
 	defer stop()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
+		// Receive sets are schedule fan-ins — a handful of keys — so a
+		// linear scan beats building a per-call map (and allocates nothing).
 		for i, p := range m.pending {
-			if want[Key{From: p.From, Tag: p.Tag}] {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return p, nil
+			for _, k := range keys {
+				if k.From == p.From && k.Tag == p.Tag {
+					m.remove(i)
+					return p, nil
+				}
 			}
 		}
 		if m.closed {
 			return Message{}, m.failure()
 		}
-		for k := range want {
+		for _, k := range keys {
 			if err := m.srcErr[k.From]; err != nil {
 				return Message{}, err
 			}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
 	"rtcomp/internal/transport/mbox"
@@ -80,8 +81,10 @@ type Endpoint struct {
 var _ comm.Comm = (*Endpoint)(nil)
 
 type peerConn struct {
-	mu sync.Mutex // serialises frame writes
-	c  net.Conn
+	mu  sync.Mutex // serialises frame writes and guards the scratch below
+	c   net.Conn
+	hdr [frameHeader]byte // reusable frame-header scratch
+	vec [2][]byte         // reusable net.Buffers backing for vectored writes
 }
 
 // Start brings up this rank's listener, connects the mesh and returns when
@@ -306,8 +309,13 @@ func (e *Endpoint) readLoop(peer int, c net.Conn) {
 			fail(fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame), true)
 			return
 		}
-		payload := make([]byte, n)
+		// Payloads come from the pool; a successful Put hands ownership to
+		// the mailbox and on to the receiving caller, who releases the
+		// buffer after decoding. Every failure path here still owns the
+		// buffer and returns it.
+		payload := bufpool.Get(int(n))
 		if _, err := io.ReadFull(c, payload); err != nil {
+			bufpool.Put(payload)
 			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err), true)
 			return
 		}
@@ -315,11 +323,13 @@ func (e *Endpoint) readLoop(peer int, c net.Conn) {
 		// checksum mismatch poisons the whole connection.
 		got := crc32.Update(crc32.Checksum(hdr[:12], crcTable), crcTable, payload)
 		if got != want {
+			bufpool.Put(payload)
 			fail(fmt.Errorf("tcpnet: frame CRC mismatch from rank %d (tag %d, %d bytes): got %08x want %08x",
 				peer, tag, n, got, want), true)
 			return
 		}
 		if err := e.box.Put(mbox.Message{From: peer, Tag: tag, Payload: payload}); err != nil {
+			bufpool.Put(payload)
 			return
 		}
 	}
@@ -343,14 +353,19 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if pc == nil {
 		return fmt.Errorf("tcpnet: no connection to rank %d", to)
 	}
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint64(frame[:8], uint64(int64(tag)))
-	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	copy(frame[frameHeader:], payload)
-	crc := crc32.Update(crc32.Checksum(frame[:12], crcTable), crcTable, payload)
-	binary.BigEndian.PutUint32(frame[12:16], crc)
+	// Header and payload go out as one vectored write (writev): the payload
+	// is never copied into a frame buffer, and the CRC covers exactly the
+	// header prefix + payload bytes written. The header scratch lives on the
+	// connection, under the same lock that serialises writes.
 	pc.mu.Lock()
-	_, err := pc.c.Write(frame)
+	binary.BigEndian.PutUint64(pc.hdr[:8], uint64(int64(tag)))
+	binary.BigEndian.PutUint32(pc.hdr[8:12], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum(pc.hdr[:12], crcTable), crcTable, payload)
+	binary.BigEndian.PutUint32(pc.hdr[12:16], crc)
+	pc.vec[0], pc.vec[1] = pc.hdr[:], payload
+	bufs := net.Buffers(pc.vec[:])
+	_, err := bufs.WriteTo(pc.c)
+	pc.vec[0], pc.vec[1] = nil, nil // drop the payload reference
 	pc.mu.Unlock()
 	if err != nil {
 		return &comm.PeerError{Rank: to, Err: fmt.Errorf("tcpnet: send to rank %d: %w", to, err)}
@@ -393,14 +408,14 @@ func (e *Endpoint) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
 
 // RecvAnyTimeout implements comm.Comm.
 func (e *Endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
-	mk := make([]mbox.Key, len(keys))
-	for i, k := range keys {
+	for _, k := range keys {
 		if k.From < 0 || k.From >= e.size || k.From == e.rank {
 			return 0, 0, nil, fmt.Errorf("tcpnet: invalid source rank %d", k.From)
 		}
-		mk[i] = mbox.Key{From: k.From, Tag: k.Tag}
 	}
-	msg, err := e.box.GetAnyUntil(mk, deadlineFor(timeout))
+	// mbox.Key aliases comm.MsgKey, so the receive set passes straight
+	// through without a conversion allocation.
+	msg, err := e.box.GetAnyUntil(keys, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: keys, Timeout: timeout}
