@@ -60,6 +60,10 @@ func main() {
 		missing   = flag.String("on-missing", "fail", "policy for missing contributions: fail, partial or recover")
 		maxRec    = flag.Int("max-recoveries", 2, "re-execution budget of -on-missing recover (negative = fallback immediately)")
 		quiet     = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
+		sessWin   = flag.Int("session-window", 0, "per-peer unacked frame window (0 = default)")
+		reconnTO  = flag.Duration("reconnect-timeout", 0, "per-outage session resume budget (0 = default)")
+		maxReconn = flag.Int("max-reconnects", 0, "redial attempts per outage (0 = default, negative disables reconnection)")
+		heartbeat = flag.Duration("heartbeat", 0, "session heartbeat interval (0 = default, negative disables)")
 		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added)")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
 	)
@@ -71,6 +75,12 @@ func main() {
 	}
 	if _, err := compositor.ParsePolicy(*missing); err != nil {
 		fatal(err)
+	}
+	sess := comm.SessionConfig{
+		WindowFrames:      *sessWin,
+		ReconnectTimeout:  *reconnTO,
+		MaxReconnects:     *maxReconn,
+		HeartbeatInterval: *heartbeat,
 	}
 	rec := telemetry.New()
 	if *debugAddr != "" {
@@ -104,7 +114,7 @@ func main() {
 
 	if *local > 0 {
 		flushOnSignal(rec, *traceOut, func() []telemetry.Summary { return rec.Summaries(*local) })
-		if err := runLocal(*local, mkConfig(*local), rec, *out, *traceOut, *timeout); err != nil {
+		if err := runLocal(*local, mkConfig(*local), rec, *out, *traceOut, *timeout, sess); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,6 +135,7 @@ func main() {
 		DialTimeout: *timeout,
 		Logf:        meshLogf(*quiet),
 		Telemetry:   rec,
+		Session:     sess,
 	})
 	if err != nil {
 		fatal(err)
@@ -239,8 +250,10 @@ func flushOnSignal(rec *telemetry.Recorder, tracePath string, summarize func() [
 	}()
 }
 
-func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut string, timeout time.Duration) error {
-	addrs, err := tcpnet.LoopbackAddrs(p)
+func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut string, timeout time.Duration, sess comm.SessionConfig) error {
+	// ListenLoopback hands each rank an already-bound listener, so the
+	// kernel-assigned ports cannot be stolen between discovery and Start.
+	lns, addrs, err := tcpnet.ListenLoopback(p)
 	if err != nil {
 		return err
 	}
@@ -252,7 +265,10 @@ func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut str
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: timeout, Telemetry: rec})
+			ep, err := tcpnet.Start(tcpnet.Config{
+				Rank: r, Addrs: addrs, Listener: lns[r],
+				DialTimeout: timeout, Telemetry: rec, Session: sess,
+			})
 			if err != nil {
 				errs[r] = fmt.Errorf("mesh setup: %w", err)
 				return

@@ -11,6 +11,12 @@
 //
 //	rtsim -p 8 -method nrt:4 -chaos -drop 0.3 -resend 8 -recv-timeout 2s
 //	rtsim -p 5 -method pp -chaos -die-after 3 -recv-timeout 1s -on-missing partial
+//
+// With -chaos -conn-reset N the run instead uses a real loopback TCP mesh
+// and severs N live connections at seeded-random step boundaries; the
+// session layer must resume each one without the composition noticing:
+//
+//	rtsim -p 4 -method nrt:4 -chaos -conn-reset 3 -codec trle
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 		dup       = flag.Float64("dup", 0, "chaos: duplicate delivery probability")
 		corrupt   = flag.Float64("corrupt", 0, "chaos: payload corruption probability")
 		dieAfter  = flag.Int("die-after", 0, "chaos: kill the last rank after this many sends (0 = never)")
+		connReset = flag.Int("conn-reset", 0, "chaos: sever this many live TCP connections at seeded-random steps over a loopback mesh (0 = use the in-process fabric)")
 		recvTO    = flag.Duration("recv-timeout", 2*time.Second, "chaos: composition receive deadline")
 		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail, partial or recover)")
 		maxRec    = flag.Int("max-recoveries", 2, "chaos: re-execution budget of -on-missing recover")
@@ -94,6 +101,16 @@ func main() {
 		fatal(err)
 	}
 
+	if *chaos && *connReset > 0 {
+		err := runChaosConnReset(connResetConfig{
+			sched: sched, layers: layers, cdc: c,
+			seed: *chaosSeed, cuts: *connReset, recvTimeout: *recvTO,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *chaos {
 		err := runChaos(chaosConfig{
 			sched: sched, layers: layers, cdc: c,

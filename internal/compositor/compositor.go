@@ -107,6 +107,11 @@ type Options struct {
 	// gather) and per-step byte counters for this run. Nil disables
 	// recording — the default, and effectively free on the hot path.
 	Telemetry *telemetry.Recorder
+	// OnStep, when non-nil, is called with the 0-based step index as this
+	// rank enters each composition step — the chaos-testing seam for
+	// injecting faults at an exact position in the exchange. Under the
+	// Recover policy it fires again for every re-executed epoch.
+	OnStep func(step int)
 }
 
 // Report summarises one rank's work during a composition.
@@ -202,6 +207,9 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 	}
 
 	for si, step := range sched.Steps {
+		if opts.OnStep != nil {
+			opts.OnStep(si)
+		}
 		for h := 0; h < step.PreHalvings; h++ {
 			st.HalveAll()
 		}

@@ -240,7 +240,7 @@ func TestTCPFabricEquivalence(t *testing.T) {
 	}
 	want := runInproc(t, sched, layers, codec.RLE{})
 
-	addrs, err := tcpnet.LoopbackAddrs(p)
+	lns, addrs, err := tcpnet.ListenLoopback(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestTCPFabricEquivalence(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, Listener: lns[r], DialTimeout: 10 * time.Second})
 			if err != nil {
 				errs[r] = err
 				return
@@ -329,7 +329,7 @@ func TestDeadRankFailsCleanlyOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs, err := tcpnet.LoopbackAddrs(p)
+	lns, addrs, err := tcpnet.ListenLoopback(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestDeadRankFailsCleanlyOverTCP(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			ep, err := tcpnet.Start(tcpnet.Config{Rank: r, Addrs: addrs, Listener: lns[r], DialTimeout: 10 * time.Second})
 			if err != nil {
 				results <- err
 				return

@@ -362,6 +362,9 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 
 	noticeTag := comm.NoticeTag(epoch)
 	for si, step := range plan.Steps {
+		if rx.opts.OnStep != nil {
+			rx.opts.OnStep(si)
+		}
 		for h := 0; h < step.PreHalvings; h++ {
 			st.HalveAll()
 		}

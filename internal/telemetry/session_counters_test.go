@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtcomp/internal/comm"
+	"rtcomp/internal/transport/inproc"
+)
+
+// sessionCounters is the set the reliable tcpnet session layer records;
+// the tests below pin their names into the exported metric surface so a
+// rename breaks loudly here rather than silently emptying a dashboard.
+var sessionCounters = []string{
+	CtrReconnects, CtrReplayedFrames, CtrDupFramesDropped, CtrAcksSent, CtrHeartbeats,
+}
+
+func TestWriteMetricsSessionCounters(t *testing.T) {
+	r := New()
+	for i, name := range sessionCounters {
+		r.Add(0, name, int64(i+1))
+		r.Add(1, name, int64(10*(i+1)))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rtcomp_reconnects_total counter",
+		`rtcomp_reconnects_total{rank="0"} 1`,
+		`rtcomp_reconnects_total{rank="1"} 10`,
+		`rtcomp_replayed_frames_total{rank="0"} 2`,
+		`rtcomp_dup_frames_dropped_total{rank="1"} 30`,
+		`rtcomp_acks_sent_total{rank="0"} 4`,
+		`rtcomp_heartbeats_total{rank="1"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMetricsSessionCountersAlongsideEscapedPhases(t *testing.T) {
+	// Session counters share the exposition with span aggregates; a phase
+	// label that needs escaping must not corrupt the combined output.
+	r := New()
+	r.Add(0, CtrReconnects, 1)
+	r.Span(0, `resume "fast\path"`, CatNetwork, StepNone)()
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `rtcomp_reconnects_total{rank="0"} 1`) {
+		t.Fatalf("session counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `phase="resume \"fast\\path\""`) {
+		t.Fatalf("phase label not escaped:\n%s", out)
+	}
+}
+
+func TestGatherSummariesCarrySessionCounters(t *testing.T) {
+	// The teardown gather at rank 0 must carry each rank's session-layer
+	// tallies, attributed to the right rank — the cross-rank view operators
+	// use to spot a flapping link.
+	const p = 3
+	r := New()
+	var mu sync.Mutex
+	var rootGot []Summary
+	err := inproc.Run(p, func(c comm.Comm) error {
+		rank := c.Rank()
+		r.Add(rank, CtrReconnects, int64(rank))
+		r.Add(rank, CtrReplayedFrames, int64(100+rank))
+		var seq comm.Sequencer
+		got, err := GatherSummaries(c, &seq, 0, r.Summary(rank), 0)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			mu.Lock()
+			rootGot = got
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootGot) != p {
+		t.Fatalf("root got %d summaries", len(rootGot))
+	}
+	for rank, s := range rootGot {
+		vals := map[string]int64{}
+		for _, c := range s.Counters {
+			vals[c.Name] = c.Value
+		}
+		if rank > 0 && vals[CtrReconnects] != int64(rank) {
+			t.Errorf("rank %d reconnects = %d", rank, vals[CtrReconnects])
+		}
+		if vals[CtrReplayedFrames] != int64(100+rank) {
+			t.Errorf("rank %d replayed = %d", rank, vals[CtrReplayedFrames])
+		}
+	}
+}

@@ -62,6 +62,12 @@ const (
 	CtrDialAttempts     = "tcp_dial_attempts" // mesh setup dials (incl. retries)
 	CtrPeerFailures     = "tcp_peer_failures" // connections poisoned mid-run
 
+	CtrReconnects       = "reconnects"         // sessions transparently re-established mid-run
+	CtrReplayedFrames   = "replayed_frames"    // unacked data frames retransmitted after a resume
+	CtrDupFramesDropped = "dup_frames_dropped" // replayed frames already delivered, dropped by the dedup window
+	CtrAcksSent         = "acks_sent"          // standalone cumulative-ack frames written
+	CtrHeartbeats       = "heartbeats"         // idle-link heartbeat frames written
+
 	CtrReplicaMsgs      = "replica_msgs"       // buddy replica messages sent
 	CtrReplicaRawBytes  = "replica_raw_bytes"  // replica payload bytes before compression
 	CtrReplicaWireBytes = "replica_wire_bytes" // replica payload bytes after compression

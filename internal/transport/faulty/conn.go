@@ -1,0 +1,70 @@
+package faulty
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ConnPlan describes deterministic net.Conn-level faults — the transport
+// layer's counterpart to the message-level Plan. Where Plan perturbs whole
+// messages above a fabric, ConnPlan breaks the byte stream underneath one:
+// connection resets and partial frame writes, the two faults a reliable
+// session layer must mask by resuming and replaying. Triggers are
+// write-call counts, not probabilities, so a test can place the fault at an
+// exact position in the stream. The zero value injects nothing.
+type ConnPlan struct {
+	// CutAfterWrites closes the connection once that many Write calls have
+	// succeeded: the next write fails with an injected-cut error and both
+	// sides of the stream see the reset. Zero never cuts.
+	CutAfterWrites int
+	// PartialWriteAfter makes the Nth Write call deliver only the first
+	// half of its buffer before closing the connection and returning an
+	// error — the torn-frame fault: the receiver holds a prefix of a frame
+	// it can never complete. Zero never tears.
+	PartialWriteAfter int
+}
+
+// active reports whether the plan injects anything at all.
+func (p ConnPlan) active() bool { return p.CutAfterWrites > 0 || p.PartialWriteAfter > 0 }
+
+// WrapConn returns c with the plan's stream faults injected on the write
+// path. An inactive plan returns c unchanged.
+func WrapConn(c net.Conn, plan ConnPlan) net.Conn {
+	if !plan.active() {
+		return c
+	}
+	return &faultConn{Conn: c, plan: plan}
+}
+
+// faultConn counts writes and injects the planned stream fault. Reads and
+// deadlines pass through to the embedded connection.
+type faultConn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu     sync.Mutex
+	writes int
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	w := f.writes
+	f.mu.Unlock()
+	if f.plan.PartialWriteAfter > 0 && w == f.plan.PartialWriteAfter {
+		// Half the bytes reach the wire, then the stream dies: the receiver
+		// is left holding a torn frame, the sender a short-write error.
+		n := 0
+		if half := len(b) / 2; half > 0 {
+			n, _ = f.Conn.Write(b[:half])
+		}
+		f.Conn.Close()
+		return n, fmt.Errorf("faulty: injected partial write (%d of %d bytes)", n, len(b))
+	}
+	if f.plan.CutAfterWrites > 0 && w > f.plan.CutAfterWrites {
+		f.Conn.Close()
+		return 0, fmt.Errorf("faulty: injected connection cut after %d write(s)", f.plan.CutAfterWrites)
+	}
+	return f.Conn.Write(b)
+}

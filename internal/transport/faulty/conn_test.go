@@ -1,0 +1,96 @@
+package faulty
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory full-duplex connection.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestWrapConnInactivePlanPassesThrough(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	if got := WrapConn(a, ConnPlan{}); got != a {
+		t.Fatal("inactive plan wrapped the connection")
+	}
+}
+
+func TestConnPlanCutAfterWrites(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := WrapConn(a, ConnPlan{CutAfterWrites: 2})
+	go io.Copy(io.Discard, b)
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d within budget: %v", i, err)
+		}
+	}
+	_, err := fc.Write([]byte("doomed"))
+	if err == nil || !strings.Contains(err.Error(), "injected connection cut") {
+		t.Fatalf("third write: %v", err)
+	}
+	// The underlying connection is really closed, both for the writer...
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("underlying connection still writable after cut")
+	}
+}
+
+func TestConnPlanPartialWrite(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fc := WrapConn(a, ConnPlan{PartialWriteAfter: 2})
+	received := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		received <- buf
+	}()
+	if _, err := fc.Write([]byte("whole")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := fc.Write([]byte("0123456789"))
+	if err == nil || !strings.Contains(err.Error(), "injected partial write") {
+		t.Fatalf("torn write error: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write reported %d bytes, want 5", n)
+	}
+	select {
+	case buf := <-received:
+		if string(buf) != "whole01234" {
+			t.Fatalf("receiver saw %q, want the first write plus half the second", buf)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver never saw EOF after the injected close")
+	}
+	// A torn stream is dead: later writes fail.
+	if _, err := fc.Write([]byte("after")); err == nil {
+		t.Fatal("write succeeded on a torn connection")
+	}
+}
+
+func TestConnPlanReadsPassThrough(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	fc := WrapConn(a, ConnPlan{CutAfterWrites: 100})
+	errs := make(chan error, 1)
+	go func() {
+		_, err := b.Write([]byte("hello"))
+		errs <- err
+	}()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(fc, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read through wrapper: %q, %v", buf, err)
+	}
+	if err := <-errs; err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatal(err)
+	}
+}

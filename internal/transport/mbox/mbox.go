@@ -30,11 +30,12 @@ type Mailbox struct {
 	closed  bool
 	err     error
 	srcErr  map[int]error
+	lastSeq map[int]uint64 // per-source dedup window high-water (PutSeq)
 }
 
 // New returns an empty open mailbox.
 func New() *Mailbox {
-	m := &Mailbox{srcErr: map[int]error{}}
+	m := &Mailbox{srcErr: map[int]error{}, lastSeq: map[int]uint64{}}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -57,6 +58,37 @@ func (m *Mailbox) Put(msg Message) error {
 	m.pending = append(m.pending, msg)
 	m.cond.Broadcast()
 	return nil
+}
+
+// PutSeq stores msg only if seq advances the per-source dedup window: a
+// reliable session numbers every data frame and replays unacknowledged
+// ones after a reconnect, so the same (source, seq) may be presented more
+// than once — and across two connections racing through a resume. The
+// window is the single authority on acceptance: a seq at or below the
+// source's high-water mark is a duplicate and is refused (accepted=false,
+// payload ownership stays with the caller). Sequence numbers start at 1;
+// seq 0 never advances the window.
+func (m *Mailbox) PutSeq(msg Message, seq uint64) (accepted bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, m.failure()
+	}
+	if seq <= m.lastSeq[msg.From] {
+		return false, nil
+	}
+	m.lastSeq[msg.From] = seq
+	m.pending = append(m.pending, msg)
+	m.cond.Broadcast()
+	return true, nil
+}
+
+// LastSeq reports the dedup window's high-water mark for one source — the
+// highest sequence number accepted from it via PutSeq.
+func (m *Mailbox) LastSeq(from int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSeq[from]
 }
 
 // Get blocks until a message with the given source and tag is available and

@@ -1,0 +1,255 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"time"
+
+	"rtcomp/internal/bufpool"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/transport/mbox"
+)
+
+// readLoop drains one connection of one session epoch: parse frames, verify
+// checksums, fold piggybacked acks into the replay ring, and hand data
+// payloads to the mailbox through the dedup window. Any stream anomaly —
+// read error, torn frame, bad header, CRC mismatch, epoch confusion, idle
+// link past the heartbeat budget — is reported to the session, which
+// decides between transparent resume and peer failure. The loop exits when
+// its connection is superseded, broken, or the peer departs.
+func (e *Endpoint) readLoop(s *session, c net.Conn, epoch uint32) {
+	idle := time.Duration(0)
+	if s.cfg.HeartbeatsEnabled() && s.cfg.ReadIdleTimeout > 0 {
+		idle = s.cfg.ReadIdleTimeout
+	}
+	var hdr [frameHeader]byte
+	for {
+		if idle > 0 {
+			c.SetReadDeadline(time.Now().Add(idle))
+		}
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			s.connBroken(c, fmt.Errorf("tcpnet: read from rank %d: %w", s.peer, err))
+			return
+		}
+		fi, err := parseFrameHeader(hdr[:])
+		if err != nil {
+			s.connBroken(c, fmt.Errorf("tcpnet: bad frame from rank %d: %w", s.peer, err))
+			return
+		}
+		if fi.epoch != epoch {
+			s.connBroken(c, fmt.Errorf("tcpnet: frame epoch %d from rank %d on connection of epoch %d",
+				fi.epoch, s.peer, epoch))
+			return
+		}
+		payload := bufpool.Get(int(fi.n))
+		if fi.n > 0 {
+			if idle > 0 {
+				c.SetReadDeadline(time.Now().Add(idle))
+			}
+			if _, err := io.ReadFull(c, payload); err != nil {
+				bufpool.Put(payload)
+				s.connBroken(c, fmt.Errorf("tcpnet: read from rank %d: %w", s.peer, err))
+				return
+			}
+		}
+		if got := crc32.Update(fi.headerCRC, crcTable, payload); got != fi.wantCRC {
+			bufpool.Put(payload)
+			e.tel.Add(e.rank, telemetry.CtrCRCRejects, 1)
+			s.connBroken(c, fmt.Errorf("tcpnet: frame from rank %d failed checksum (tag %d, %d bytes): got %08x want %08x",
+				s.peer, fi.tag, fi.n, got, fi.wantCRC))
+			return
+		}
+		s.processAck(fi.ack)
+		switch fi.typ {
+		case ftData:
+			accepted, err := e.box.PutSeq(mbox.Message{From: s.peer, Tag: int(fi.tag), Payload: payload}, fi.seq)
+			if err != nil {
+				bufpool.Put(payload)
+				return // mailbox closed: endpoint teardown
+			}
+			if !accepted {
+				// A replayed frame the dedup window already delivered. Drop it
+				// but still re-ack below — the original ack may be exactly
+				// what the outage swallowed.
+				bufpool.Put(payload)
+				e.tel.Add(e.rank, telemetry.CtrDupFramesDropped, 1)
+			}
+			s.noteRecvAndAck(fi.seq)
+		case ftAck, ftHeartbeat:
+			bufpool.Put(payload) // header-only; the piggybacked ack above was the message
+		case ftBye:
+			bufpool.Put(payload)
+			s.depart()
+			return
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections for the endpoint's whole lifetime
+// — mesh setup and any later resume — handing each to its own handshake
+// goroutine so one slow or garbage dialer cannot block a legitimate peer.
+// It exits when the listener closes.
+func (e *Endpoint) acceptLoop(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go e.handleInbound(c)
+	}
+}
+
+// handleInbound runs the acceptor side of the resume handshake on one
+// inbound connection. Connections that present bad magic, an out-of-range
+// rank, or a rank that should be accepting us instead are rejected without
+// consuming any session state.
+func (e *Endpoint) handleInbound(c net.Conn) {
+	rank, epoch, recvSeq, err := readHello(c, e.size, e.hsTimeout)
+	if err != nil {
+		e.logf("tcpnet: rank %d rejected connection from %s: %v", e.rank, c.RemoteAddr(), err)
+		c.Close()
+		return
+	}
+	if rank <= e.rank {
+		e.logf("tcpnet: rank %d rejected hello from rank %d (not a dialing rank)", e.rank, rank)
+		c.Close()
+		return
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	e.sessions[rank].resume(c, epoch, recvSeq)
+}
+
+// readHello reads and validates the dialer's resume hello under a deadline.
+func readHello(c net.Conn, p int, timeout time.Duration) (rank int, epoch uint32, recvSeq uint64, err error) {
+	c.SetReadDeadline(time.Now().Add(timeout))
+	defer c.SetReadDeadline(time.Time{})
+	var b [helloLen]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, 0, 0, fmt.Errorf("hello read: %w", err)
+	}
+	return parseHello(b[:], p)
+}
+
+// dialResume opens one connection to a peer and runs the dialer side of the
+// resume handshake: send the hello proposing an epoch, read back the
+// adopted epoch and the peer's receive high-water mark. The overall
+// deadline bounds the dial; the handshake itself gets at most hsTimeout.
+func dialResume(addr string, rank int, epoch uint32, recvSeq uint64, hsTimeout time.Duration, deadline time.Time) (net.Conn, uint32, uint64, error) {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return nil, 0, 0, errors.New("tcpnet: dial deadline exceeded")
+	}
+	c, err := net.DialTimeout("tcp", addr, remaining)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	hsDeadline := time.Now().Add(hsTimeout)
+	if hsDeadline.After(deadline) {
+		hsDeadline = deadline
+	}
+	c.SetDeadline(hsDeadline)
+	hello := encodeHello(rank, epoch, recvSeq)
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, 0, 0, fmt.Errorf("hello write: %w", err)
+	}
+	var reply [replyLen]byte
+	if _, err := io.ReadFull(c, reply[:]); err != nil {
+		c.Close()
+		return nil, 0, 0, fmt.Errorf("resume reply: %w", err)
+	}
+	c.SetDeadline(time.Time{})
+	gotEpoch, peerRecv, err := parseResumeReply(reply[:])
+	if err != nil {
+		c.Close()
+		return nil, 0, 0, err
+	}
+	if gotEpoch != epoch {
+		c.Close()
+		return nil, 0, 0, fmt.Errorf("tcpnet: resume reply confirms epoch %d, proposed %d", gotEpoch, epoch)
+	}
+	return c, gotEpoch, peerRecv, nil
+}
+
+// dialMesh establishes the initial connection to one lower-ranked peer,
+// retrying with exponential backoff until the mesh deadline — riding out
+// listeners that are not up yet. Each attempt proposes the attempt number
+// as the session epoch, so even a half-completed earlier handshake (the
+// acceptor adopted, our read of the reply failed) is superseded cleanly.
+// It returns the connection, adopted epoch, the peer's receive high-water
+// mark (always 0 on a fresh mesh), and how many dials it took.
+func dialMesh(addr string, rank int, backoff, hsTimeout time.Duration, deadline time.Time) (net.Conn, uint32, uint64, int, error) {
+	maxBackoff := 64 * backoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if time.Until(deadline) <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("tcpnet: dial deadline exceeded")
+			}
+			return nil, 0, 0, attempt - 1, lastErr
+		}
+		c, epoch, peerRecv, err := dialResume(addr, rank, uint32(attempt), 0, hsTimeout, deadline)
+		if err == nil {
+			return c, epoch, peerRecv, attempt, nil
+		}
+		lastErr = err
+		sleep := backoff
+		if remaining := time.Until(deadline); remaining < sleep {
+			sleep = remaining
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// listenRetry binds addr, retrying briefly with backoff when the port is
+// transiently taken — the gap between a port-0 probe (LoopbackAddrs) and
+// the real bind, or a lingering socket from a just-killed process.
+func listenRetry(addr string, deadline time.Time) (net.Listener, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// ListenLoopback binds p loopback listeners on kernel-assigned ports and
+// returns them alongside their addresses. Unlike LoopbackAddrs, the ports
+// are never released between discovery and use — hand each listener to
+// Start via Config.Listener and the bind race disappears entirely. On
+// error, every already-bound listener is closed.
+func ListenLoopback(p int) ([]net.Listener, []string, error) {
+	lns := make([]net.Listener, 0, p)
+	addrs := make([]string, 0, p)
+	for i := 0; i < p; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, nil, fmt.Errorf("tcpnet: loopback listen %d/%d: %w", i, p, err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return lns, addrs, nil
+}

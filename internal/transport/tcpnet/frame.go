@@ -1,0 +1,184 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format v3 — the reliable-session framing.
+//
+// Every frame opens with a fixed 37-byte header:
+//
+//	offset  size  field
+//	0       1     type   (ftData, ftAck, ftHeartbeat, ftBye)
+//	1       4     epoch  (session epoch the writing connection belongs to)
+//	5       8     seq    (sender's data sequence number; 0 on non-data frames)
+//	13      8     ack    (cumulative: highest data seq received from the peer)
+//	21      8     tag    (two's complement int64; data frames only)
+//	29      4     len    (payload length; 0 on non-data frames)
+//	33      4     crc    (CRC-32C over header[0:33] + payload)
+//
+// Data frames carry the tag-matched payload the compositor exchanges; every
+// frame — data or not — piggybacks the cumulative ack, and standalone ack,
+// heartbeat and bye frames are header-only. Sequence numbers start at 1 and
+// increase by one per data frame, so the receiver's dedup window is a single
+// high-water mark and the sender's replay ring prunes on a cumulative ack.
+const (
+	frameHeader = 37
+	crcOffset   = 33
+)
+
+// Frame types.
+const (
+	ftData      byte = 1 // tag-matched payload, sequenced and replayable
+	ftAck       byte = 2 // standalone cumulative acknowledgement
+	ftHeartbeat byte = 3 // idle-link liveness probe
+	ftBye       byte = 4 // clean departure: peer is closing, do not reconnect
+)
+
+// maxFrame bounds a single message payload (64 MiB), protecting against
+// corrupt length headers.
+const maxFrame = 64 << 20
+
+// crcTable is the Castagnoli polynomial table used for frame checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameInfo is a parsed frame header. wantCRC is the checksum the frame
+// claims; headerCRC is the CRC-32C of the header prefix, which the reader
+// folds the payload into before comparing against wantCRC.
+type frameInfo struct {
+	typ       byte
+	epoch     uint32
+	seq       uint64
+	ack       uint64
+	tag       int64
+	n         uint32
+	wantCRC   uint32
+	headerCRC uint32
+}
+
+// parseFrameHeader validates and decodes one frame header. It rejects
+// unknown types, payloads beyond maxFrame, and non-data frames that claim a
+// payload or a sequence number — the structural checks; the checksum over
+// header+payload is completed by the caller once the payload is read.
+func parseFrameHeader(hdr []byte) (frameInfo, error) {
+	var fi frameInfo
+	if len(hdr) != frameHeader {
+		return fi, fmt.Errorf("tcpnet: frame header is %d bytes, want %d", len(hdr), frameHeader)
+	}
+	fi.typ = hdr[0]
+	fi.epoch = binary.BigEndian.Uint32(hdr[1:5])
+	fi.seq = binary.BigEndian.Uint64(hdr[5:13])
+	fi.ack = binary.BigEndian.Uint64(hdr[13:21])
+	fi.tag = int64(binary.BigEndian.Uint64(hdr[21:29]))
+	fi.n = binary.BigEndian.Uint32(hdr[29:33])
+	fi.wantCRC = binary.BigEndian.Uint32(hdr[crcOffset:])
+	fi.headerCRC = crc32.Checksum(hdr[:crcOffset], crcTable)
+	switch fi.typ {
+	case ftData:
+		if fi.seq == 0 {
+			return fi, fmt.Errorf("tcpnet: data frame with sequence 0")
+		}
+	case ftAck, ftHeartbeat, ftBye:
+		if fi.n != 0 || fi.seq != 0 {
+			return fi, fmt.Errorf("tcpnet: control frame type %d with seq %d and %d payload bytes", fi.typ, fi.seq, fi.n)
+		}
+	default:
+		return fi, fmt.Errorf("tcpnet: unknown frame type %d", fi.typ)
+	}
+	if fi.n > maxFrame {
+		return fi, fmt.Errorf("tcpnet: frame payload of %d bytes exceeds %d", fi.n, maxFrame)
+	}
+	return fi, nil
+}
+
+// encodeFrameHeader writes the v3 header for one frame into hdr, including
+// the checksum over header prefix and payload.
+func encodeFrameHeader(hdr []byte, typ byte, epoch uint32, seq, ack uint64, tag int64, payload []byte) {
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:5], epoch)
+	binary.BigEndian.PutUint64(hdr[5:13], seq)
+	binary.BigEndian.PutUint64(hdr[13:21], ack)
+	binary.BigEndian.PutUint64(hdr[21:29], uint64(tag))
+	binary.BigEndian.PutUint32(hdr[29:crcOffset], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum(hdr[:crcOffset], crcTable), crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[crcOffset:], crc)
+}
+
+// Resume handshake — how a connection (initial or re-established) binds to
+// a session.
+//
+// The dialer (always the higher rank of the pair) opens every connection
+// with a 24-byte hello: magic, its rank, the session epoch it proposes, and
+// the highest data seq it has received from the acceptor. The acceptor
+// replies with 16 bytes echoing the adopted epoch plus the highest data seq
+// *it* has received, which tells the dialer exactly which unacked frames to
+// replay. A fresh mesh connection is the degenerate resume: epoch 1,
+// nothing received yet. Epochs are strictly increasing per session — the
+// acceptor rejects a proposal at or below its current epoch, so a stale or
+// duplicate resume can never hijack a live connection.
+const (
+	helloLen = 24
+	replyLen = 16
+)
+
+// handshakeMagic opens every hello and reply; a connection that does not
+// present it (a port scanner, a stale peer from another protocol version)
+// is rejected with a clear error instead of being mistaken for a rank.
+var handshakeMagic = [4]byte{'R', 'T', 'C', '3'}
+
+// encodeHello builds the dialer's resume hello.
+func encodeHello(rank int, epoch uint32, recvSeq uint64) [helloLen]byte {
+	var b [helloLen]byte
+	copy(b[:4], handshakeMagic[:])
+	binary.BigEndian.PutUint64(b[4:12], uint64(rank))
+	binary.BigEndian.PutUint32(b[12:16], epoch)
+	binary.BigEndian.PutUint64(b[16:24], recvSeq)
+	return b
+}
+
+// parseHello validates and decodes a resume hello from a dialing peer in a
+// p-rank mesh.
+func parseHello(b []byte, p int) (rank int, epoch uint32, recvSeq uint64, err error) {
+	if len(b) != helloLen {
+		return 0, 0, 0, fmt.Errorf("tcpnet: hello is %d bytes, want %d", len(b), helloLen)
+	}
+	if [4]byte(b[:4]) != handshakeMagic {
+		return 0, 0, 0, fmt.Errorf("tcpnet: hello magic %q is not %q", b[:4], handshakeMagic[:])
+	}
+	r := binary.BigEndian.Uint64(b[4:12])
+	if r >= uint64(p) {
+		return 0, 0, 0, fmt.Errorf("tcpnet: hello from invalid rank %d", r)
+	}
+	epoch = binary.BigEndian.Uint32(b[12:16])
+	if epoch == 0 {
+		return 0, 0, 0, fmt.Errorf("tcpnet: hello proposes epoch 0")
+	}
+	return int(r), epoch, binary.BigEndian.Uint64(b[16:24]), nil
+}
+
+// encodeResumeReply builds the acceptor's reply: the adopted epoch and the
+// highest data seq received so far (the dialer's replay cursor).
+func encodeResumeReply(epoch uint32, recvSeq uint64) [replyLen]byte {
+	var b [replyLen]byte
+	copy(b[:4], handshakeMagic[:])
+	binary.BigEndian.PutUint32(b[4:8], epoch)
+	binary.BigEndian.PutUint64(b[8:16], recvSeq)
+	return b
+}
+
+// parseResumeReply validates and decodes the acceptor's resume reply.
+func parseResumeReply(b []byte) (epoch uint32, recvSeq uint64, err error) {
+	if len(b) != replyLen {
+		return 0, 0, fmt.Errorf("tcpnet: resume reply is %d bytes, want %d", len(b), replyLen)
+	}
+	if [4]byte(b[:4]) != handshakeMagic {
+		return 0, 0, fmt.Errorf("tcpnet: reply magic %q is not %q", b[:4], handshakeMagic[:])
+	}
+	epoch = binary.BigEndian.Uint32(b[4:8])
+	if epoch == 0 {
+		return 0, 0, fmt.Errorf("tcpnet: reply confirms epoch 0")
+	}
+	return epoch, binary.BigEndian.Uint64(b[8:16]), nil
+}

@@ -3,7 +3,7 @@ package tcpnet
 import (
 	"encoding/binary"
 	"errors"
-	"hash/crc32"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -86,7 +86,8 @@ func TestMeshLogsHandshakeProgress(t *testing.T) {
 	}
 }
 
-// dialAsRank performs the wire handshake by hand, impersonating a peer.
+// dialAsRank performs the resume handshake by hand, impersonating a peer
+// on a fresh session (epoch 1, nothing received).
 func dialAsRank(t *testing.T, addr string, rank int) net.Conn {
 	t.Helper()
 	var conn net.Conn
@@ -101,13 +102,31 @@ func dialAsRank(t *testing.T, addr string, rank int) net.Conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hdr := make([]byte, 12)
-	copy(hdr[:4], handshakeMagic[:])
-	binary.BigEndian.PutUint64(hdr[4:], uint64(rank))
-	if _, err := conn.Write(hdr); err != nil {
+	hello := encodeHello(rank, 1, 0)
+	if _, err := conn.Write(hello[:]); err != nil {
 		t.Fatal(err)
 	}
+	var reply [replyLen]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		t.Fatalf("resume reply: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if epoch, recvSeq, err := parseResumeReply(reply[:]); err != nil || epoch != 1 || recvSeq != 0 {
+		t.Fatalf("resume reply epoch %d recvSeq %d err %v, want 1, 0, nil", epoch, recvSeq, err)
+	}
 	return conn
+}
+
+// rawDataFrame hand-builds a v3 data frame (epoch 1, seq 1), optionally
+// flipping bits in the checksum.
+func rawDataFrame(tag int64, payload []byte, crcXOR uint32) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	encodeFrameHeader(frame[:frameHeader], ftData, 1, 1, 0, tag, payload)
+	crc := binary.BigEndian.Uint32(frame[crcOffset:frameHeader])
+	binary.BigEndian.PutUint32(frame[crcOffset:frameHeader], crc^crcXOR)
+	copy(frame[frameHeader:], payload)
+	return frame
 }
 
 func TestCorruptFrameFailsPeerWithTypedError(t *testing.T) {
@@ -123,7 +142,11 @@ func TestCorruptFrameFailsPeerWithTypedError(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		ep, startErr = Start(Config{Rank: 0, Addrs: addrs, DialTimeout: 10 * time.Second})
+		// Reconnection is disabled: a fake peer never resumes, and the test
+		// asserts the checksum failure surfaces as a PeerError within its
+		// receive deadline rather than after a reconnect budget.
+		ep, startErr = Start(Config{Rank: 0, Addrs: addrs, DialTimeout: 10 * time.Second,
+			Session: comm.SessionConfig{MaxReconnects: -1, HeartbeatInterval: -1}})
 	}()
 	conn := dialAsRank(t, addrs[0], 1)
 	defer conn.Close()
@@ -133,14 +156,7 @@ func TestCorruptFrameFailsPeerWithTypedError(t *testing.T) {
 	}
 	defer ep.Close()
 
-	payload := []byte("poisoned")
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint64(frame[:8], 7)
-	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	copy(frame[frameHeader:], payload)
-	crc := crc32.Update(crc32.Checksum(frame[:12], crcTable), crcTable, payload)
-	binary.BigEndian.PutUint32(frame[12:16], crc^0xDEADBEEF)
-	if _, err := conn.Write(frame); err != nil {
+	if _, err := conn.Write(rawDataFrame(7, []byte("poisoned"), 0xDEADBEEF)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -166,7 +182,10 @@ func TestValidFrameWithChecksumDelivers(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		ep, startErr = Start(Config{Rank: 0, Addrs: addrs, DialTimeout: 10 * time.Second})
+		// Heartbeats off: the hand-rolled peer never sends any, so the idle
+		// deadline must not cut the connection under the test.
+		ep, startErr = Start(Config{Rank: 0, Addrs: addrs, DialTimeout: 10 * time.Second,
+			Session: comm.SessionConfig{MaxReconnects: -1, HeartbeatInterval: -1}})
 	}()
 	conn := dialAsRank(t, addrs[0], 1)
 	defer conn.Close()
@@ -176,14 +195,7 @@ func TestValidFrameWithChecksumDelivers(t *testing.T) {
 	}
 	defer ep.Close()
 
-	payload := []byte("intact")
-	frame := make([]byte, frameHeader+len(payload))
-	binary.BigEndian.PutUint64(frame[:8], 9)
-	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	copy(frame[frameHeader:], payload)
-	crc := crc32.Update(crc32.Checksum(frame[:12], crcTable), crcTable, payload)
-	binary.BigEndian.PutUint32(frame[12:16], crc)
-	if _, err := conn.Write(frame); err != nil {
+	if _, err := conn.Write(rawDataFrame(9, []byte("intact"), 0)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ep.RecvTimeout(1, 9, 5*time.Second)

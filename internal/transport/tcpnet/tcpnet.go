@@ -1,27 +1,35 @@
 // Package tcpnet implements the comm.Comm fabric over raw TCP sockets — the
 // hand-rolled message-passing substrate standing in for the SP2's MPL/MPI
-// layer. Every pair of ranks shares one TCP connection carrying
-// length-prefixed frames with a tag header and a CRC-32C payload checksum; a
-// reader goroutine per connection feeds a tag-matching mailbox.
+// layer. Every pair of ranks shares one reliable session carrying
+// sequence-numbered frames with a tag header and a CRC-32C checksum; a
+// reader goroutine per connection feeds a tag-matching, duplicate-dropping
+// mailbox.
 //
 // Topology: rank i listens on Addrs[i]; every rank j dials every rank i < j
-// and announces itself with a magic+rank handshake, so the full mesh needs
+// and binds the connection to the pair's session with a resume handshake
+// (magic, rank, epoch, receive high-water mark), so the full mesh needs
 // P*(P-1)/2 connections. Dial and handshake are retried with exponential
 // backoff until the mesh deadline; a peer that never appears produces a
 // rank-attributed error, never a silent hang.
+//
+// Reliability: the session layer (session.go) masks transient faults below
+// the compositor's recovery protocol. Unacknowledged frames wait in a
+// bounded replay ring; when a connection breaks — reset, torn frame,
+// checksum mismatch, silent link — the higher rank redials, the lower rank
+// re-accepts, and the unacked tail is replayed under a fresh session epoch
+// while the receiver's dedup window drops anything it already delivered.
+// Send/Recv semantics are unchanged through any survivable outage; only an
+// outage that exhausts the reconnect budget surfaces, as the same PeerError
+// a dead rank produces, handing the problem to the recovery protocol.
 package tcpnet
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"net"
 	"sync"
 	"time"
 
-	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
 	"rtcomp/internal/transport/mbox"
@@ -31,7 +39,8 @@ import (
 type Config struct {
 	// Rank is this process's rank in [0, len(Addrs)).
 	Rank int
-	// Addrs lists every rank's listen address, index = rank.
+	// Addrs lists every rank's listen address, index = rank. The addresses
+	// of lower ranks are also the redial targets after a connection loss.
 	Addrs []string
 	// DialTimeout bounds the whole mesh setup. Zero means 30s.
 	DialTimeout time.Duration
@@ -42,36 +51,47 @@ type Config struct {
 	// DialBackoff is the initial retry backoff after a failed dial or
 	// handshake; it doubles per attempt up to 64x. Zero means 10ms.
 	DialBackoff time.Duration
-	// Logf, when non-nil, receives per-peer mesh setup progress (dial
-	// attempts, handshakes, stragglers) — the observable heartbeat that
-	// distinguishes a slow peer from a dead one.
+	// Session tunes the reliable session layer: replay window size,
+	// reconnection budget, heartbeats. The zero value means defaults (see
+	// comm.SessionConfig); set MaxReconnects to a negative value to disable
+	// reconnection entirely and fail peers on the first break.
+	Session comm.SessionConfig
+	// Listener, when non-nil, is this rank's already-bound listener, used
+	// instead of binding Addrs[Rank] — the race-free path for tests and
+	// single-machine runs (see ListenLoopback). Start takes ownership and
+	// closes it with the endpoint.
+	Listener net.Listener
+	// WrapConn, when non-nil, wraps every established connection to the
+	// given peer after its handshake completes — the fault-injection seam
+	// the chaos tests use (see faulty.WrapConn). Each re-established
+	// connection is wrapped anew.
+	WrapConn func(peer int, c net.Conn) net.Conn
+	// Logf, when non-nil, receives per-peer mesh setup and session progress
+	// (dial attempts, handshakes, breaks, resumes, stragglers) — the
+	// observable heartbeat that distinguishes a slow peer from a dead one.
 	Logf func(format string, args ...any)
-	// Telemetry, when non-nil, receives transport counters: mesh dial
-	// attempts (including retries) and mid-run peer failures such as frame
-	// CRC mismatches or dropped connections.
+	// Telemetry, when non-nil, receives transport counters: dial attempts
+	// (including retries and redials), session reconnects, replayed and
+	// duplicate-dropped frames, acks, heartbeats, and mid-run peer
+	// failures.
 	Telemetry *telemetry.Recorder
 }
 
-// maxFrame bounds a single message payload (64 MiB), protecting against
-// corrupt length headers.
-const maxFrame = 64 << 20
-
-// handshakeMagic opens every mesh handshake; a connection that does not
-// present it (a port scanner, a stale peer from another protocol version)
-// is rejected with a clear error instead of being mistaken for a rank.
-var handshakeMagic = [4]byte{'R', 'T', 'C', '2'}
-
-// crcTable is the Castagnoli polynomial table used for frame checksums.
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
 // Endpoint is the TCP-backed communicator endpoint.
 type Endpoint struct {
-	rank  int
-	size  int
-	box   *mbox.Mailbox
-	conns []*peerConn // index = peer rank; nil at own rank
-	ln    net.Listener
-	tel   *telemetry.Recorder
+	rank     int
+	size     int
+	box      *mbox.Mailbox
+	sessions []*session // index = peer rank; nil at own rank
+	ln       net.Listener
+	tel      *telemetry.Recorder
+
+	addrs       []string
+	dialBackoff time.Duration
+	hsTimeout   time.Duration
+	scfg        comm.SessionConfig
+	wrapConn    func(peer int, c net.Conn) net.Conn
+	logf        func(format string, args ...any)
 
 	mu       sync.Mutex
 	counters comm.Counters
@@ -80,18 +100,14 @@ type Endpoint struct {
 
 var _ comm.Comm = (*Endpoint)(nil)
 
-type peerConn struct {
-	mu  sync.Mutex // serialises frame writes and guards the scratch below
-	c   net.Conn
-	hdr [frameHeader]byte // reusable frame-header scratch
-	vec [2][]byte         // reusable net.Buffers backing for vectored writes
-}
-
 // Start brings up this rank's listener, connects the mesh and returns when
-// every peer connection is established.
+// every peer session has established its first connection.
 func Start(cfg Config) (*Endpoint, error) {
 	p := len(cfg.Addrs)
 	if p < 1 || cfg.Rank < 0 || cfg.Rank >= p {
+		if cfg.Listener != nil {
+			cfg.Listener.Close()
+		}
 		return nil, fmt.Errorf("tcpnet: bad config: rank %d of %d", cfg.Rank, p)
 	}
 	timeout := cfg.DialTimeout
@@ -116,223 +132,101 @@ func Start(cfg Config) (*Endpoint, error) {
 	deadline := time.Now().Add(timeout)
 
 	ep := &Endpoint{
-		rank:  cfg.Rank,
-		size:  p,
-		box:   mbox.New(),
-		conns: make([]*peerConn, p),
-		tel:   cfg.Telemetry,
+		rank:        cfg.Rank,
+		size:        p,
+		box:         mbox.New(),
+		sessions:    make([]*session, p),
+		tel:         cfg.Telemetry,
+		addrs:       append([]string(nil), cfg.Addrs...),
+		dialBackoff: backoff,
+		hsTimeout:   hsTimeout,
+		scfg:        cfg.Session.Resolved(),
+		wrapConn:    cfg.WrapConn,
+		logf:        logf,
 	}
 	if p == 1 {
+		if cfg.Listener != nil {
+			cfg.Listener.Close()
+		}
 		return ep, nil
 	}
 
-	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+	ln := cfg.Listener
+	if ln == nil {
+		// A transiently taken port (the LoopbackAddrs probe gap, a lingering
+		// socket from a killed process) gets a short retry budget before the
+		// bind failure is reported.
+		listenDeadline := time.Now().Add(2 * time.Second)
+		if listenDeadline.After(deadline) {
+			listenDeadline = deadline
+		}
+		var err error
+		ln, err = listenRetry(cfg.Addrs[cfg.Rank], listenDeadline)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: rank %d listen %s: %w", cfg.Rank, cfg.Addrs[cfg.Rank], err)
+		}
 	}
 	ep.ln = ln
 	logf("tcpnet: rank %d listening on %s, waiting for ranks %d..%d", cfg.Rank, ln.Addr(), cfg.Rank+1, p-1)
 
-	// Accept connections from higher ranks in the background. A stray or
-	// silent connection is rejected after the handshake timeout without
-	// consuming a peer slot.
-	type accepted struct {
-		peer int
-		conn net.Conn
-		err  error
-	}
-	wantAccepts := p - 1 - cfg.Rank
-	acceptCh := make(chan accepted, wantAccepts)
-	go func() {
-		seen := make(map[int]bool)
-		for got := 0; got < wantAccepts; {
-			c, err := ln.Accept()
-			if err != nil {
-				acceptCh <- accepted{err: err}
-				return
-			}
-			peer, err := readHandshake(c, p, hsTimeout)
-			switch {
-			case err != nil:
-				logf("tcpnet: rank %d rejected connection from %s: %v", cfg.Rank, c.RemoteAddr(), err)
-				c.Close()
-				continue
-			case peer <= cfg.Rank || seen[peer]:
-				logf("tcpnet: rank %d rejected duplicate/invalid handshake from rank %d", cfg.Rank, peer)
-				c.Close()
-				continue
-			}
-			seen[peer] = true
-			got++
-			logf("tcpnet: rank %d accepted rank %d (%d/%d)", cfg.Rank, peer, got, wantAccepts)
-			acceptCh <- accepted{peer: peer, conn: c}
+	for peer := 0; peer < p; peer++ {
+		if peer != cfg.Rank {
+			ep.sessions[peer] = newSession(ep, peer)
 		}
-	}()
+	}
+
+	// The accept loop runs for the endpoint's whole lifetime: it serves both
+	// the initial mesh handshakes from higher ranks and any later resume
+	// after a connection loss.
+	go ep.acceptLoop(ln)
 
 	// Dial lower ranks, retrying dial and handshake with exponential
 	// backoff until their listeners are up or the mesh deadline passes.
 	for peer := 0; peer < cfg.Rank; peer++ {
 		logf("tcpnet: rank %d dialing rank %d at %s", cfg.Rank, peer, cfg.Addrs[peer])
-		conn, attempts, err := dialHandshake(cfg.Addrs[peer], cfg.Rank, backoff, deadline)
+		conn, epoch, peerRecv, attempts, err := dialMesh(cfg.Addrs[peer], cfg.Rank, backoff, hsTimeout, deadline)
 		ep.tel.Add(cfg.Rank, telemetry.CtrDialAttempts, int64(attempts))
 		if err != nil {
 			ep.Close()
 			return nil, fmt.Errorf("tcpnet: rank %d dial rank %d (%s, %d attempts): %w",
 				cfg.Rank, peer, cfg.Addrs[peer], attempts, err)
 		}
+		if !ep.sessions[peer].adopt(conn, epoch, peerRecv) {
+			ep.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d: session with rank %d closed during setup", cfg.Rank, peer)
+		}
 		logf("tcpnet: rank %d connected to rank %d after %d attempt(s)", cfg.Rank, peer, attempts)
-		ep.conns[peer] = &peerConn{c: conn}
 	}
 
-	for i := 0; i < wantAccepts; i++ {
-		select {
-		case a := <-acceptCh:
-			if a.err != nil {
-				ep.Close()
-				return nil, fmt.Errorf("tcpnet: rank %d accept: %w", cfg.Rank, a.err)
-			}
-			ep.conns[a.peer] = &peerConn{c: a.conn}
-		case <-time.After(time.Until(deadline)):
+	// Higher ranks dial us; wait until each session has seen its first
+	// connection, naming the stragglers if the deadline passes.
+	for peer := cfg.Rank + 1; peer < p; peer++ {
+		if !ep.sessions[peer].waitConnected(deadline) {
+			missing := ep.missingPeers()
 			ep.Close()
 			return nil, fmt.Errorf("tcpnet: rank %d timed out after %v waiting for rank(s) %v",
-				cfg.Rank, timeout, ep.missingPeers())
-		}
-	}
-
-	for peer, pc := range ep.conns {
-		if pc != nil {
-			go ep.readLoop(peer, pc.c)
+				cfg.Rank, timeout, missing)
 		}
 	}
 	return ep, nil
 }
 
-// missingPeers lists the ranks with no established connection (self
+// missingPeers lists the ranks whose session never connected (self
 // excluded) — the culprits named by a mesh setup timeout.
 func (e *Endpoint) missingPeers() []int {
 	var missing []int
-	for r, pc := range e.conns {
-		if r != e.rank && pc == nil {
+	for r, s := range e.sessions {
+		if r == e.rank || s == nil {
+			continue
+		}
+		s.mu.Lock()
+		connected := s.everConnected
+		s.mu.Unlock()
+		if !connected {
 			missing = append(missing, r)
 		}
 	}
 	return missing
-}
-
-// readHandshake validates one inbound connection's magic+rank announcement
-// under a read deadline.
-func readHandshake(c net.Conn, p int, timeout time.Duration) (int, error) {
-	c.SetReadDeadline(time.Now().Add(timeout))
-	defer c.SetReadDeadline(time.Time{})
-	var hdr [12]byte
-	if _, err := io.ReadFull(c, hdr[:]); err != nil {
-		return 0, fmt.Errorf("handshake read: %w", err)
-	}
-	if [4]byte(hdr[:4]) != handshakeMagic {
-		return 0, fmt.Errorf("handshake magic %q is not %q", hdr[:4], handshakeMagic[:])
-	}
-	peer := int(binary.BigEndian.Uint64(hdr[4:]))
-	if peer < 0 || peer >= p {
-		return 0, fmt.Errorf("handshake from invalid rank %d", peer)
-	}
-	return peer, nil
-}
-
-// dialHandshake dials addr and writes this rank's handshake, retrying both
-// stages with exponential backoff (doubling, capped at 64x the initial
-// backoff) until the deadline. It reports how many attempts were made.
-func dialHandshake(addr string, rank int, backoff time.Duration, deadline time.Time) (net.Conn, int, error) {
-	var hdr [12]byte
-	copy(hdr[:4], handshakeMagic[:])
-	binary.BigEndian.PutUint64(hdr[4:], uint64(rank))
-	maxBackoff := 64 * backoff
-	var lastErr error
-	for attempt := 1; ; attempt++ {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			if lastErr == nil {
-				lastErr = errors.New("deadline exceeded")
-			}
-			return nil, attempt - 1, lastErr
-		}
-		c, err := net.DialTimeout("tcp", addr, remaining)
-		if err == nil {
-			if tc, ok := c.(*net.TCPConn); ok {
-				tc.SetNoDelay(true)
-			}
-			c.SetWriteDeadline(deadline)
-			_, err = c.Write(hdr[:])
-			c.SetWriteDeadline(time.Time{})
-			if err == nil {
-				return c, attempt, nil
-			}
-			err = fmt.Errorf("handshake write: %w", err)
-			c.Close()
-		}
-		lastErr = err
-		sleep := backoff
-		if remaining < sleep {
-			sleep = remaining
-		}
-		time.Sleep(sleep)
-		if backoff < maxBackoff {
-			backoff *= 2
-		}
-	}
-}
-
-// Frame layout: 8-byte tag (two's complement int64), 4-byte payload length,
-// 4-byte CRC-32C over tag, length and payload.
-const frameHeader = 16
-
-func (e *Endpoint) readLoop(peer int, c net.Conn) {
-	fail := func(err error, abnormal bool) {
-		// A dead peer only poisons receives from that peer; already
-		// delivered messages and other connections stay live. Only count a
-		// peer failure for abnormal breaks on a live endpoint — a clean EOF
-		// between frames or a teardown race is ordinary end-of-run traffic.
-		if abnormal && !e.isClosed() {
-			e.tel.Add(e.rank, telemetry.CtrPeerFailures, 1)
-		}
-		e.box.Fail(peer, &comm.PeerError{Rank: peer, Err: err})
-	}
-	var hdr [frameHeader]byte
-	for {
-		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err), !errors.Is(err, io.EOF))
-			return
-		}
-		tag := int(int64(binary.BigEndian.Uint64(hdr[:8])))
-		n := binary.BigEndian.Uint32(hdr[8:12])
-		want := binary.BigEndian.Uint32(hdr[12:16])
-		if n > maxFrame {
-			fail(fmt.Errorf("tcpnet: frame from rank %d exceeds %d bytes", peer, maxFrame), true)
-			return
-		}
-		// Payloads come from the pool; a successful Put hands ownership to
-		// the mailbox and on to the receiving caller, who releases the
-		// buffer after decoding. Every failure path here still owns the
-		// buffer and returns it.
-		payload := bufpool.Get(int(n))
-		if _, err := io.ReadFull(c, payload); err != nil {
-			bufpool.Put(payload)
-			fail(fmt.Errorf("tcpnet: connection to rank %d: %w", peer, err), true)
-			return
-		}
-		// The byte stream cannot be resynchronised after a bad frame, so a
-		// checksum mismatch poisons the whole connection.
-		got := crc32.Update(crc32.Checksum(hdr[:12], crcTable), crcTable, payload)
-		if got != want {
-			bufpool.Put(payload)
-			fail(fmt.Errorf("tcpnet: frame CRC mismatch from rank %d (tag %d, %d bytes): got %08x want %08x",
-				peer, tag, n, got, want), true)
-			return
-		}
-		if err := e.box.Put(mbox.Message{From: peer, Tag: tag, Payload: payload}); err != nil {
-			bufpool.Put(payload)
-			return
-		}
-	}
 }
 
 // Rank implements comm.Comm.
@@ -341,7 +235,11 @@ func (e *Endpoint) Rank() int { return e.rank }
 // Size implements comm.Comm.
 func (e *Endpoint) Size() int { return e.size }
 
-// Send implements comm.Comm.
+// Send implements comm.Comm. The payload is copied into the session's
+// replay ring and is not retained after Send returns; delivery is reliable
+// across any outage the session survives. Send blocks while the replay
+// window is full and only fails once the peer's session has terminally
+// failed (a PeerError) or the endpoint is closed.
 func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if to < 0 || to >= e.size || to == e.rank {
 		return fmt.Errorf("tcpnet: invalid destination rank %d", to)
@@ -349,26 +247,12 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("tcpnet: payload of %d bytes exceeds frame limit", len(payload))
 	}
-	pc := e.conns[to]
-	if pc == nil {
-		return fmt.Errorf("tcpnet: no connection to rank %d", to)
+	s := e.sessions[to]
+	if s == nil {
+		return fmt.Errorf("tcpnet: no session with rank %d", to)
 	}
-	// Header and payload go out as one vectored write (writev): the payload
-	// is never copied into a frame buffer, and the CRC covers exactly the
-	// header prefix + payload bytes written. The header scratch lives on the
-	// connection, under the same lock that serialises writes.
-	pc.mu.Lock()
-	binary.BigEndian.PutUint64(pc.hdr[:8], uint64(int64(tag)))
-	binary.BigEndian.PutUint32(pc.hdr[8:12], uint32(len(payload)))
-	crc := crc32.Update(crc32.Checksum(pc.hdr[:12], crcTable), crcTable, payload)
-	binary.BigEndian.PutUint32(pc.hdr[12:16], crc)
-	pc.vec[0], pc.vec[1] = pc.hdr[:], payload
-	bufs := net.Buffers(pc.vec[:])
-	_, err := bufs.WriteTo(pc.c)
-	pc.vec[0], pc.vec[1] = nil, nil // drop the payload reference
-	pc.mu.Unlock()
-	if err != nil {
-		return &comm.PeerError{Rank: to, Err: fmt.Errorf("tcpnet: send to rank %d: %w", to, err)}
+	if err := s.send(tag, payload); err != nil {
+		return err
 	}
 	e.mu.Lock()
 	e.counters.MsgsSent++
@@ -438,46 +322,105 @@ func deadlineFor(timeout time.Duration) time.Time {
 	return time.Now().Add(timeout)
 }
 
-// Counters implements comm.Comm.
-// isClosed reports whether Close has begun, so late readLoop errors from
-// our own teardown are not misattributed to peers.
+// isClosed reports whether teardown has begun, so late connection errors
+// from our own teardown are not misattributed to peers.
 func (e *Endpoint) isClosed() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.closed
 }
 
+// Counters implements comm.Comm.
 func (e *Endpoint) Counters() comm.Counters {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.counters
 }
 
-// Close implements comm.Comm.
+// Close implements comm.Comm: a clean shutdown. Each live session sends a
+// bye frame first so peers treat the departure as end-of-run traffic
+// instead of an outage to reconnect through.
 func (e *Endpoint) Close() error {
+	e.shutdown(true)
+	return nil
+}
+
+// Kill tears the endpoint down abruptly — no bye frames, connections
+// simply die — simulating a process crash for the fault-tolerance tests.
+// Peers observe broken connections, attempt to resume, exhaust their
+// reconnect budget and fail this rank with a PeerError, exactly the
+// sequence a real crash produces.
+func (e *Endpoint) Kill() {
+	e.shutdown(false)
+}
+
+func (e *Endpoint) shutdown(sendBye bool) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return nil
+		return
 	}
 	e.closed = true
 	e.mu.Unlock()
-	e.box.Close(nil)
+	if sendBye {
+		// Graceful close drains every session first: frames the peers have
+		// not yet acked are still in flight, and closing sockets under them
+		// can RST the stream and destroy them. The listener stays open so
+		// an acceptor-side resume can finish a drain mid-outage.
+		deadline := time.Now().Add(e.scfg.WriteTimeout)
+		var wg sync.WaitGroup
+		for _, s := range e.sessions {
+			if s == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(s *session) {
+				defer wg.Done()
+				s.drain(deadline)
+			}(s)
+		}
+		wg.Wait()
+	}
 	if e.ln != nil {
 		e.ln.Close()
 	}
-	for _, pc := range e.conns {
-		if pc != nil && pc.c != nil {
-			pc.c.Close()
+	for _, s := range e.sessions {
+		if s != nil {
+			s.close(sendBye)
 		}
 	}
-	return nil
+	e.box.Close(nil)
+}
+
+// CutConn severs the live connection to one peer — without touching the
+// session state — so the next read or write on it fails and the session
+// layer's resume machinery takes over. This is the chaos-testing seam: a
+// cut is exactly what a mid-run network fault looks like. It reports
+// whether there was a live connection to cut.
+func (e *Endpoint) CutConn(peer int) bool {
+	if peer < 0 || peer >= e.size || peer == e.rank {
+		return false
+	}
+	s := e.sessions[peer]
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stActive || s.conn == nil {
+		return false
+	}
+	s.conn.Close()
+	return true
 }
 
 // LoopbackAddrs returns p distinct loopback addresses with OS-assigned
 // ports, for single-machine multi-endpoint tests: it binds p listeners on
-// port 0, records the addresses, and closes them. There is a small race
-// window before the real listeners bind, acceptable for tests and demos.
+// port 0, records the addresses, and closes them. There is a small window
+// in which another process can take a probed port before the real listener
+// binds — Start rides it out with a brief bind retry, but the race-free
+// path is ListenLoopback + Config.Listener, which never releases the ports
+// at all.
 func LoopbackAddrs(p int) ([]string, error) {
 	addrs := make([]string, p)
 	lns := make([]net.Listener, p)

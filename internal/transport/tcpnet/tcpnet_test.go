@@ -11,10 +11,12 @@ import (
 )
 
 // runMesh starts p endpoints on loopback, runs fn per rank, and fails the
-// test on any error.
+// test on any error. The listeners are bound up front and handed to Start
+// (never released between port discovery and use), so there is no bind
+// race to deflake.
 func runMesh(t *testing.T, p int, fn func(c comm.Comm) error) {
 	t.Helper()
-	addrs, err := LoopbackAddrs(p)
+	lns, addrs, err := ListenLoopback(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,7 @@ func runMesh(t *testing.T, p int, fn func(c comm.Comm) error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			ep, err := Start(Config{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			ep, err := Start(Config{Rank: r, Addrs: addrs, Listener: lns[r], DialTimeout: 10 * time.Second})
 			if err != nil {
 				errs[r] = err
 				return
