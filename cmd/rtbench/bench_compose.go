@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/compositor"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
+	"rtcomp/internal/telemetry"
 	"rtcomp/internal/transport/inproc"
 )
 
@@ -25,12 +27,24 @@ type benchRow struct {
 	Method      string  `json:"method"`
 	Codec       string  `json:"codec"`
 	P           int     `json:"p"`
+	Pipeline    bool    `json:"pipeline,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// OverlapRatio is the mean per-rank tile concurrency of a pipelined
+	// run: sum of PhaseTile span durations over the rank's tile-processing
+	// wall extent. 1.0 means tiles ran strictly one after another; above 1
+	// is the overlap the pipeline exists to create. Zero for sync rows.
+	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
 }
 
-func (r benchRow) key() string { return fmt.Sprintf("%s/%s/p%d", r.Method, r.Codec, r.P) }
+func (r benchRow) key() string {
+	k := fmt.Sprintf("%s/%s/p%d", r.Method, r.Codec, r.P)
+	if r.Pipeline {
+		k += "/pipe"
+	}
+	return k
+}
 
 // benchEdge is the composite image edge: small enough for a CI smoke run,
 // large enough that payload buffers land in real pool classes.
@@ -73,6 +87,54 @@ func benchLayers(p, w, h int) []*raster.Image {
 	return layers
 }
 
+// measureOverlap runs one instrumented pipelined composition and reduces
+// its PhaseTile spans to the mean per-rank tile concurrency: for each rank,
+// the summed tile span durations divided by the wall extent the rank spent
+// processing tiles. Strictly sequential tile handling scores 1.0; the
+// pipeline's whole point is to score above it.
+func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compositor.Options) (float64, error) {
+	rec := telemetry.New()
+	opts.Telemetry = rec
+	err := inproc.Run(sched.P, func(c comm.Comm) error {
+		_, _, err := compositor.Run(c, sched, layers[c.Rank()], opts)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	type ext struct {
+		sum, lo, hi time.Duration
+	}
+	per := map[int]*ext{}
+	for _, s := range rec.Spans() {
+		if s.Name != telemetry.PhaseTile {
+			continue
+		}
+		e := per[s.Rank]
+		if e == nil {
+			e = &ext{lo: s.Start, hi: s.End}
+			per[s.Rank] = e
+		}
+		e.sum += s.End - s.Start
+		if s.Start < e.lo {
+			e.lo = s.Start
+		}
+		if s.End > e.hi {
+			e.hi = s.End
+		}
+	}
+	if len(per) == 0 {
+		return 0, fmt.Errorf("pipelined run recorded no %s spans", telemetry.PhaseTile)
+	}
+	var tot float64
+	for _, e := range per {
+		if e.hi > e.lo {
+			tot += float64(e.sum) / float64(e.hi-e.lo)
+		}
+	}
+	return tot / float64(len(per)), nil
+}
+
 // benchCompose runs the full matrix, writes rows to outPath and, when
 // budgetPath is non-empty, enforces the committed allocs/op ceilings.
 func benchCompose(outPath, budgetPath string) error {
@@ -94,30 +156,45 @@ func benchCompose(outPath, budgetPath string) error {
 		for _, method := range []string{"rt4", "bs", "pp"} {
 			sched := scheds[method]
 			for _, cc := range codecs {
-				opts := compositor.Options{Codec: cc.cdc, GatherRoot: 0}
-				res := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						err := inproc.Run(p, func(c comm.Comm) error {
-							_, _, err := compositor.Run(c, sched, layers[c.Rank()], opts)
-							return err
-						})
-						if err != nil {
-							b.Fatal(err)
+				for _, pipelined := range []bool{false, true} {
+					opts := compositor.Options{Codec: cc.cdc, GatherRoot: 0}
+					opts.Pipeline.Enabled = pipelined
+					res := testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							err := inproc.Run(p, func(c comm.Comm) error {
+								_, _, err := compositor.Run(c, sched, layers[c.Rank()], opts)
+								return err
+							})
+							if err != nil {
+								b.Fatal(err)
+							}
 						}
+					})
+					row := benchRow{
+						Method:      method,
+						Codec:       cc.name,
+						P:           p,
+						Pipeline:    pipelined,
+						NsPerOp:     float64(res.NsPerOp()),
+						BytesPerOp:  res.AllocedBytesPerOp(),
+						AllocsPerOp: res.AllocsPerOp(),
 					}
-				})
-				row := benchRow{
-					Method:      method,
-					Codec:       cc.name,
-					P:           p,
-					NsPerOp:     float64(res.NsPerOp()),
-					BytesPerOp:  res.AllocedBytesPerOp(),
-					AllocsPerOp: res.AllocsPerOp(),
+					if pipelined {
+						ratio, err := measureOverlap(sched, layers, opts)
+						if err != nil {
+							return err
+						}
+						row.OverlapRatio = ratio
+					}
+					rows = append(rows, row)
+					fmt.Printf("%-20s %12.0f ns/op %12d B/op %8d allocs/op",
+						row.key(), row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+					if pipelined {
+						fmt.Printf("  overlap %.2fx", row.OverlapRatio)
+					}
+					fmt.Println()
 				}
-				rows = append(rows, row)
-				fmt.Printf("%-16s %12.0f ns/op %12d B/op %8d allocs/op\n",
-					row.key(), row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 			}
 		}
 	}

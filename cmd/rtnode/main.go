@@ -66,6 +66,10 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "session heartbeat interval (0 = default, negative disables)")
 		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added)")
 		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
+		pipeline  = flag.Bool("pipeline", false, "per-tile pipelined composition: overlap render, exchange and gather")
+		pipeWin   = flag.Int("pipeline-window", 0, "tiles in flight per rank with -pipeline (0 = default, negative = unbounded)")
+		ilSeed    = flag.Int64("interleave-seed", 0, "deterministic receive-interleaving seed with -pipeline (0 = arrival order)")
+		progress  = flag.Bool("progressive", false, "with -pipeline, log each intermediate tile as the gather root completes it")
 	)
 	flag.Parse()
 
@@ -93,23 +97,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtnode: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", *debugAddr)
 	}
 	mkConfig := func(p int) core.Config {
-		return core.Config{
-			Dataset:       *dataset,
-			VolumeN:       *volN,
-			Camera:        shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
-			Width:         *size,
-			Height:        *size,
-			P:             p,
-			Method:        m,
-			Codec:         *cdc,
-			Accelerate:    *accel,
-			RLE:           *rle,
-			Partition:     *part,
-			RecvTimeout:   *recvTO,
-			OnMissing:     *missing,
-			MaxRecoveries: *maxRec,
-			Telemetry:     rec,
+		cfg := core.Config{
+			Dataset:        *dataset,
+			VolumeN:        *volN,
+			Camera:         shearwarp.Camera{Yaw: *yaw, Pitch: *pitch},
+			Width:          *size,
+			Height:         *size,
+			P:              p,
+			Method:         m,
+			Codec:          *cdc,
+			Accelerate:     *accel,
+			RLE:            *rle,
+			Partition:      *part,
+			RecvTimeout:    *recvTO,
+			OnMissing:      *missing,
+			MaxRecoveries:  *maxRec,
+			Telemetry:      rec,
+			Pipeline:       *pipeline,
+			PipelineWindow: *pipeWin,
+			InterleaveSeed: *ilSeed,
 		}
+		if *pipeline && *progress {
+			// The callback fires on the gather root only, as each tile of
+			// the intermediate image becomes final.
+			cfg.OnPartialFrame = func(f compositor.PartialFrame) {
+				fmt.Fprintf(os.Stderr, "rtnode: tile %d ready (%d/%d, pixels %d..%d)\n",
+					f.Tile, f.Done, f.Total, f.Span.Lo, f.Span.Hi)
+			}
+		}
+		return cfg
 	}
 
 	if *local > 0 {

@@ -37,10 +37,11 @@ func main() {
 		volN   = flag.Int("voln", 96, "phantom resolution")
 		slots  = flag.Int("slots", 2, "concurrent render slots; excess requests get 503 + Retry-After")
 		reqTO  = flag.Duration("request-timeout", 30*time.Second, "per-request render deadline (0 = none)")
+		pipe   = flag.Bool("pipeline", false, "compose frames with the per-tile pipelined compositor by default (per-request override: ?pipeline=0|1)")
 	)
 	flag.Parse()
 
-	srv := &server{p: *p, volN: *volN, rec: telemetry.New(), reqTO: *reqTO}
+	srv := &server{p: *p, volN: *volN, rec: telemetry.New(), reqTO: *reqTO, pipeline: *pipe}
 	if *slots > 0 {
 		srv.slots = make(chan struct{}, *slots)
 	}
@@ -82,10 +83,11 @@ func newMux(s *server) *http.ServeMux {
 }
 
 type server struct {
-	p, volN int
-	rec     *telemetry.Recorder // accumulates across frames; served at /metrics
-	slots   chan struct{}       // admission semaphore; nil = unlimited
-	reqTO   time.Duration       // per-request render deadline; 0 = none
+	p, volN  int
+	rec      *telemetry.Recorder // accumulates across frames; served at /metrics
+	slots    chan struct{}       // admission semaphore; nil = unlimited
+	reqTO    time.Duration       // per-request render deadline; 0 = none
+	pipeline bool                // default composition mode; ?pipeline= overrides
 }
 
 // acquire takes a render slot without blocking. A full server answers 503
@@ -161,6 +163,14 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 	if codec == "" {
 		codec = "trle"
 	}
+	pipelined := s.pipeline
+	if v := r.URL.Query().Get("pipeline"); v != "" {
+		pipelined, err = strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "pipeline must be a boolean", http.StatusBadRequest)
+			return
+		}
+	}
 
 	if !s.acquire(w) {
 		return
@@ -177,6 +187,7 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		Method:     method,
 		Codec:      codec,
 		Accelerate: true,
+		Pipeline:   pipelined,
 		Telemetry:  s.rec,
 	}
 	// The render runs under the request's context plus the server's own
@@ -200,6 +211,7 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-Render-Time", rep.RenderTime.String())
 	w.Header().Set("X-Composite-Time", rep.CompositeAll.String())
+	w.Header().Set("X-Pipeline", strconv.FormatBool(pipelined))
 	if err := rep.Image.WritePNG(w); err != nil {
 		log.Printf("rtserve: writing png: %v", err)
 	}

@@ -40,6 +40,7 @@ type chaosConfig struct {
 	maxRecoveries int    // re-execution budget of the recover policy
 	traceOut      string // write the real run's telemetry as Chrome trace JSON
 	gantt         bool   // print the per-rank span occupancy chart
+	pipeline      bool   // run the per-tile pipelined compositor
 }
 
 // runChaos executes the schedule for real on the in-process fabric with
@@ -84,6 +85,10 @@ func runChaos(cc chaosConfig) error {
 			OnMissing:     policy,
 			MaxRecoveries: cc.maxRecoveries,
 			Telemetry:     rec,
+			Pipeline: compositor.PipelineConfig{
+				Enabled:        cc.pipeline,
+				InterleaveSeed: cc.seed,
+			},
 		})
 		mu.Lock()
 		defer mu.Unlock()
@@ -97,8 +102,8 @@ func runChaos(cc chaosConfig) error {
 	})
 	elapsed := time.Since(t0)
 
-	fmt.Printf("chaos: method=%s p=%d seed=%d drop=%g resend=%d delay=%g dup=%g corrupt=%g die-after=%d policy=%s\n",
-		cc.sched.Name, p, cc.seed, cc.drop, cc.resend, cc.delayProb, cc.dup, cc.corrupt, cc.dieAfter, policy)
+	fmt.Printf("chaos: method=%s p=%d seed=%d drop=%g resend=%d delay=%g dup=%g corrupt=%g die-after=%d policy=%s pipeline=%v\n",
+		cc.sched.Name, p, cc.seed, cc.drop, cc.resend, cc.delayProb, cc.dup, cc.corrupt, cc.dieAfter, policy, cc.pipeline)
 	var tot faulty.Stats
 	for _, s := range stats {
 		tot.Dropped += s.Dropped

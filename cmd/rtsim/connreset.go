@@ -26,6 +26,7 @@ type connResetConfig struct {
 	seed        int64
 	cuts        int
 	recvTimeout time.Duration
+	pipeline    bool
 }
 
 // connCut is one planned severing: at the top of step, cutter closes its
@@ -89,6 +90,10 @@ func runChaosConnReset(cc connResetConfig) error {
 				RecvTimeout: cc.recvTimeout,
 				OnMissing:   compositor.FailFast,
 				Telemetry:   rec,
+				Pipeline: compositor.PipelineConfig{
+					Enabled:        cc.pipeline,
+					InterleaveSeed: cc.seed,
+				},
 				OnStep: func(si int) {
 					for _, cut := range cuts {
 						if cut.cutter != r || cut.step != si {
@@ -116,8 +121,8 @@ func runChaosConnReset(cc connResetConfig) error {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	fmt.Printf("chaos: conn-reset method=%s p=%d seed=%d planned-cuts=%d severed=%d\n",
-		cc.sched.Name, p, cc.seed, cc.cuts, severed.Load())
+	fmt.Printf("chaos: conn-reset method=%s p=%d seed=%d planned-cuts=%d severed=%d pipeline=%v\n",
+		cc.sched.Name, p, cc.seed, cc.cuts, severed.Load(), cc.pipeline)
 
 	failed := 0
 	for r, err := range rankErrs {

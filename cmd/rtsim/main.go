@@ -61,6 +61,7 @@ func main() {
 		recvTO    = flag.Duration("recv-timeout", 2*time.Second, "chaos: composition receive deadline")
 		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail, partial or recover)")
 		maxRec    = flag.Int("max-recoveries", 2, "chaos: re-execution budget of -on-missing recover")
+		pipeline  = flag.Bool("pipeline", false, "chaos: run the per-tile pipelined compositor (the -seed value also seeds its receive interleaver)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,7 @@ func main() {
 		err := runChaosConnReset(connResetConfig{
 			sched: sched, layers: layers, cdc: c,
 			seed: *chaosSeed, cuts: *connReset, recvTimeout: *recvTO,
+			pipeline: *pipeline,
 		})
 		if err != nil {
 			fatal(err)
@@ -118,7 +120,7 @@ func main() {
 			delayProb: *delayProb, maxDelay: *maxDelay,
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
 			recvTimeout: *recvTO, onMissing: *missing, maxRecoveries: *maxRec,
-			traceOut: *traceOut, gantt: *gantt,
+			traceOut: *traceOut, gantt: *gantt, pipeline: *pipeline,
 		})
 		if err != nil {
 			fatal(err)

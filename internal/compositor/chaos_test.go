@@ -370,6 +370,164 @@ func TestChaosKitchenSink(t *testing.T) {
 	}
 }
 
+// chaosPipelined flips a chaos option set onto the pipelined executor with
+// a deterministic interleaving, so every pipelined chaos case also exercises
+// a reordered delivery schedule.
+func chaosPipelined(o Options) Options {
+	o.Pipeline.Enabled = true
+	o.Pipeline.InterleaveSeed = 99
+	return o
+}
+
+// dropEverythingPlan silently discards every send: the total-loss scenario
+// of the stall-detector and compose-partial tests.
+func dropEverythingPlan() faulty.Plan { return faulty.Plan{Seed: 2, Drop: 1} }
+
+// minRecvTimeout is the short failure-detection deadline of the loss cases.
+func minRecvTimeout() time.Duration { return 200 * time.Millisecond }
+
+// TestChaosPipelinedMatrix re-runs the chaos contract on the pipelined
+// executor: for every schedule, the same fault plans that the synchronous
+// matrix survives must yield the same outcomes — exact after retries,
+// typed failure under fail-fast loss, flagged degradation under
+// compose-partial, and the peer-death contract under both policies.
+func TestChaosPipelinedMatrix(t *testing.T) {
+	for name, sched := range chaosSchedules(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Run("drop-with-retry-exact", func(t *testing.T) {
+				layers, want := chaosLayers(61, sched.P)
+				plan := faulty.Plan{Seed: 7, Drop: 0.3, MaxResend: 10, Backoff: 100 * time.Microsecond}
+				o := runChaosCase(t, sched, layers, plan, -1,
+					chaosPipelined(Options{Codec: codec.TRLE{}, RecvTimeout: 10 * time.Second}))
+				assertContract(t, o, want)
+				for r, err := range o.errs {
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+				}
+				if o.final == nil || !raster.Equal(o.final, want) {
+					t.Fatal("pipelined retry run did not reproduce the reference image")
+				}
+			})
+			t.Run("loss-failfast-typed", func(t *testing.T) {
+				layers, want := chaosLayers(62, sched.P)
+				plan := faulty.Plan{Seed: 3, Drop: 0.5}
+				o := runChaosCase(t, sched, layers, plan, -1,
+					chaosPipelined(Options{Codec: codec.TRLE{}, RecvTimeout: minRecvTimeout(), OnMissing: FailFast}))
+				assertContract(t, o, want)
+				var lost, failed int
+				for _, s := range o.stats {
+					lost += s.Lost
+				}
+				if lost == 0 {
+					t.Skip("seed dropped nothing terminally; loss case not exercised")
+				}
+				for _, err := range o.errs {
+					if err != nil {
+						failed++
+					}
+				}
+				if failed == 0 {
+					t.Fatal("messages were lost but no pipelined rank failed under FailFast")
+				}
+			})
+			t.Run("loss-composepartial-flagged", func(t *testing.T) {
+				layers, want := chaosLayers(63, sched.P)
+				plan := faulty.Plan{Seed: 3, Drop: 0.5}
+				o := runChaosCase(t, sched, layers, plan, -1,
+					chaosPipelined(Options{Codec: codec.TRLE{}, RecvTimeout: minRecvTimeout(), OnMissing: ComposePartial}))
+				assertContract(t, o, want)
+				var lost int
+				for _, s := range o.stats {
+					lost += s.Lost
+				}
+				if lost == 0 {
+					t.Skip("seed dropped nothing terminally; loss case not exercised")
+				}
+				if !o.anyDegraded() {
+					t.Fatal("messages were lost but no pipelined rank flagged degradation")
+				}
+			})
+			for _, policy := range []Policy{FailFast, ComposePartial} {
+				t.Run(fmt.Sprintf("peer-death/%v", policy), func(t *testing.T) {
+					layers, want := chaosLayers(64, sched.P)
+					plan := faulty.Plan{Seed: 19, DieAfterSends: 1}
+					o := runChaosCase(t, sched, layers, plan, sched.P-1,
+						chaosPipelined(Options{Codec: codec.TRLE{}, RecvTimeout: minRecvTimeout(), OnMissing: policy}))
+					assertContract(t, o, want)
+					if err := o.errs[sched.P-1]; err == nil || !errors.Is(err, faulty.ErrDead) {
+						t.Errorf("dead rank error = %v, want ErrDead", err)
+					}
+					if policy == ComposePartial {
+						if o.final == nil {
+							t.Fatal("compose-partial produced no image despite a surviving root")
+						}
+						if !o.anyDegraded() && !raster.Equal(o.final, want) {
+							t.Fatal("missing contribution neither flagged nor absent")
+						}
+					} else if o.anyDegraded() {
+						t.Fatal("FailFast must not flag degradation")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosPipelinedConnReset: delivery jitter plus duplicates — the
+// transient-fault mix the reliable session layer masks — must leave the
+// pipelined result byte-exact, like the synchronous jitter case.
+func TestChaosPipelinedConnReset(t *testing.T) {
+	for name, sched := range chaosSchedules(t) {
+		t.Run(name, func(t *testing.T) {
+			layers, want := chaosLayers(65, sched.P)
+			plan := faulty.Plan{Seed: 11, DelayProb: 0.6, MaxDelay: 5 * time.Millisecond, DupProb: 0.3}
+			o := runChaosCase(t, sched, layers, plan, -1,
+				chaosPipelined(Options{Codec: codec.TRLE{}, RecvTimeout: 10 * time.Second}))
+			assertContract(t, o, want)
+			if o.final == nil || !raster.Equal(o.final, want) {
+				t.Fatal("jittered pipelined run did not reproduce the reference image")
+			}
+		})
+	}
+}
+
+// TestChaosPipelinedRecoverSingleDeath: the Recover policy with the
+// pipelined epoch-0 attempt must match the synchronous recovery contract —
+// a recoverable single death still yields the exact fault-free image,
+// flagged Recovered.
+func TestChaosPipelinedRecoverSingleDeath(t *testing.T) {
+	for name, sched := range chaosSchedules(t) {
+		t.Run(name, func(t *testing.T) {
+			layers, want := chaosLayers(66, sched.P)
+			die := 1
+			opts := recoverOptions(codec.TRLE{})
+			opts.Pipeline.Enabled = true
+			opts.Pipeline.InterleaveSeed = 31
+			o := runRecoverCase(t, sched, layers, map[int]int{die: 1}, opts)
+			if err := o.errs[die]; err == nil || !errors.Is(err, faulty.ErrDead) {
+				t.Errorf("dead rank error = %v, want ErrDead", err)
+			}
+			for r, err := range o.errs {
+				if r != die && err != nil {
+					t.Errorf("survivor rank %d failed: %v", r, err)
+				}
+			}
+			if o.final == nil || !raster.Equal(o.final, want) {
+				t.Fatal("pipelined recovery did not reproduce the fault-free golden image")
+			}
+			for r, rep := range o.reports {
+				if r == die || rep == nil {
+					continue
+				}
+				if !rep.Recovered || rep.Degraded {
+					t.Errorf("rank %d: Recovered=%v Degraded=%v", r, rep.Recovered, rep.Degraded)
+				}
+			}
+		})
+	}
+}
+
 func TestChaosDeterministicFaultStreams(t *testing.T) {
 	// The same seed must inject the identical fault pattern run after run —
 	// the property that makes chaos failures reproducible.

@@ -110,8 +110,17 @@ type Options struct {
 	// OnStep, when non-nil, is called with the 0-based step index as this
 	// rank enters each composition step — the chaos-testing seam for
 	// injecting faults at an exact position in the exchange. Under the
-	// Recover policy it fires again for every re-executed epoch.
+	// Recover policy it fires again for every re-executed epoch. Under the
+	// pipelined executor it fires once per step, the first time any tile
+	// enters that step.
 	OnStep func(step int)
+	// Pipeline selects and tunes the message-driven per-tile executor
+	// (pipeline.go); the zero value keeps the bulk-synchronous step loop.
+	// The configuration must match across all ranks of a run. Under the
+	// Recover policy only the first (epoch-0) attempt is pipelined:
+	// re-executions over repaired schedules run synchronously after the
+	// in-flight window has drained at the recovery barrier.
+	Pipeline PipelineConfig
 }
 
 // Report summarises one rank's work during a composition.
@@ -167,9 +176,15 @@ func Run(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Option
 		return runRecover(c, sched, local, opts, cdc)
 	}
 	rep := &Report{Rank: c.Rank()}
-	scr := newRunScratch()
-	final, err := runOnce(c, sched, local, opts, cdc, rep, 0, nil, nil, nil, scr)
-	scr.release()
+	var final *raster.Image
+	var err error
+	if opts.Pipeline.Enabled {
+		final, _, err = runPipelined(c, sched, local, opts, cdc, rep, nil)
+	} else {
+		scr := newRunScratch()
+		final, err = runOnce(c, sched, local, opts, cdc, rep, 0, nil, nil, nil, scr)
+		scr.release()
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -324,28 +339,38 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 		st.Release()
 		final = img
 		if opts.Broadcast {
-			var seq comm.Sequencer
-			var payload []byte
-			if c.Rank() == opts.GatherRoot {
-				payload = img.Pix
-			}
-			data, err := comm.BcastTimeout(c, &seq, opts.GatherRoot, payload, opts.RecvTimeout)
+			final, err = broadcastFinal(c, opts, rep, img, local.W, local.H)
 			if err != nil {
-				if !(opts.OnMissing == ComposePartial && comm.IsRecoverable(err)) {
-					return nil, fmt.Errorf("compositor: broadcast: %w", err)
-				}
-				rep.Degraded = true
-			}
-			if c.Rank() != opts.GatherRoot && data != nil {
-				final = raster.New(local.W, local.H)
-				if len(data) != len(final.Pix) {
-					return nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d",
-						len(data), len(final.Pix))
-				}
-				copy(final.Pix, data)
-				bufpool.Put(data)
+				return nil, err
 			}
 		}
+	}
+	return final, nil
+}
+
+// broadcastFinal redistributes the assembled image from the gather root so
+// every rank returns it — shared by the synchronous and pipelined paths.
+func broadcastFinal(c comm.Comm, opts Options, rep *Report, final *raster.Image, w, h int) (*raster.Image, error) {
+	var seq comm.Sequencer
+	var payload []byte
+	if c.Rank() == opts.GatherRoot {
+		payload = final.Pix
+	}
+	data, err := comm.BcastTimeout(c, &seq, opts.GatherRoot, payload, opts.RecvTimeout)
+	if err != nil {
+		if !(opts.OnMissing == ComposePartial && comm.IsRecoverable(err)) {
+			return nil, fmt.Errorf("compositor: broadcast: %w", err)
+		}
+		rep.Degraded = true
+	}
+	if c.Rank() != opts.GatherRoot && data != nil {
+		final = raster.New(w, h)
+		if len(data) != len(final.Pix) {
+			return nil, fmt.Errorf("compositor: broadcast image has %d bytes, want %d",
+				len(data), len(final.Pix))
+		}
+		copy(final.Pix, data)
+		bufpool.Put(data)
 	}
 	return final, nil
 }

@@ -1,0 +1,93 @@
+// The deterministic-interleaving stage of the pipelined test harness: a
+// receive-side reorder buffer that releases concurrently in-flight messages
+// in an order that is a pure function of (seed, source, tag). The receiver
+// drains everything currently available into the buffer with non-blocking
+// polls and releases exactly one minimum-priority message at a time, so any
+// burst of simultaneously outstanding messages is delivered in the seeded
+// permutation — and sweeping seeds in the differential tests permutes the
+// interleavings the pipelined executor must be invariant to.
+//
+// The buffer is intentionally work-conserving: it only reorders messages
+// that have already arrived, never holding delivery hostage to a message
+// that may causally depend on the held ones (a strict total order over all
+// expected messages can deadlock small in-flight windows, because later
+// tiles are not even claimed until earlier ones finish).
+package compositor
+
+// ilMsg is one buffered message awaiting seeded release.
+type ilMsg struct {
+	from, tag int
+	payload   []byte
+	prio      uint64
+	seq       int // arrival order, the deterministic tie-break
+}
+
+// interleaver is the reorder buffer. Buffers are small (a burst of
+// in-flight messages), so a linear min-scan beats heap bookkeeping.
+type interleaver struct {
+	seed int64
+	buf  []ilMsg
+	seq  int
+}
+
+func newInterleaver(seed int64) *interleaver {
+	if seed == 0 {
+		return nil
+	}
+	return &interleaver{seed: seed}
+}
+
+func (il *interleaver) len() int { return len(il.buf) }
+
+func (il *interleaver) push(from, tag int, payload []byte) {
+	il.buf = append(il.buf, ilMsg{
+		from:    from,
+		tag:     tag,
+		payload: payload,
+		prio:    msgPriority(il.seed, from, tag),
+		seq:     il.seq,
+	})
+	il.seq++
+}
+
+// pop removes and returns the minimum-priority buffered message.
+func (il *interleaver) pop() (from, tag int, payload []byte) {
+	best := 0
+	for i := 1; i < len(il.buf); i++ {
+		if il.buf[i].prio < il.buf[best].prio ||
+			(il.buf[i].prio == il.buf[best].prio && il.buf[i].seq < il.buf[best].seq) {
+			best = i
+		}
+	}
+	m := il.buf[best]
+	last := len(il.buf) - 1
+	il.buf[best] = il.buf[last]
+	il.buf[last] = ilMsg{}
+	il.buf = il.buf[:last]
+	return m.from, m.tag, m.payload
+}
+
+// drain returns every still-buffered payload (teardown hygiene: the
+// receiver recycles them).
+func (il *interleaver) drain() [][]byte {
+	out := make([][]byte, 0, len(il.buf))
+	for i := range il.buf {
+		out = append(out, il.buf[i].payload)
+		il.buf[i] = ilMsg{}
+	}
+	il.buf = il.buf[:0]
+	return out
+}
+
+// msgPriority hashes (seed, from, tag) with a splitmix64-style finalizer.
+// Every expected (from, tag) pair is unique within an epoch, so priorities
+// induce a deterministic order over any set of co-buffered messages.
+func msgPriority(seed int64, from, tag int) uint64 {
+	x := uint64(seed) ^ uint64(from)*0x9E3779B97F4A7C15 ^ uint64(tag)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,189 @@
+package compositor
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/compose"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+)
+
+// The progressive-delivery suite: OnPartial callbacks on the gather root
+// must be monotone — every completed tile delivered exactly once, with
+// correct pixels, strictly before Run returns, and never re-delivered
+// across a recovery epoch boundary.
+
+// partialLog collects OnPartial callbacks thread-safely, copying the
+// borrowed pixel slices before they go stale.
+type partialLog struct {
+	mu     sync.Mutex
+	frames []PartialFrame
+	pix    [][]byte
+	closed bool
+	late   int
+}
+
+func (l *partialLog) add(f PartialFrame) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		l.late++
+		return
+	}
+	l.frames = append(l.frames, f)
+	l.pix = append(l.pix, append([]byte(nil), f.Pix...))
+}
+
+// close marks the run finished; any callback after this is a violation.
+func (l *partialLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}
+
+func TestProgressiveDeliveryMonotone(t *testing.T) {
+	const w, h = 44, 20
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngLayers := makeLayers(rand.New(rand.NewSource(11)), 4, w, h, true)
+	want := compose.SerialComposite(rngLayers)
+	spans := sched.TileSpans(w * h)
+
+	log := &partialLog{}
+	opts := pipeOptions(codec.TRLE{})
+	opts.Pipeline.InterleaveSeed = 4242
+	opts.Pipeline.OnPartial = log.add
+	got := runInprocPipe(t, sched, rngLayers, opts).mustFinal(t)
+	log.close()
+
+	if !raster.Equal(got, want) {
+		t.Fatalf("final image differs: maxdiff=%d", raster.MaxDiff(got, want))
+	}
+	if log.late > 0 {
+		t.Fatalf("%d OnPartial callback(s) fired after Run returned", log.late)
+	}
+	if len(log.frames) != sched.Tiles {
+		t.Fatalf("delivered %d tiles progressively, want %d", len(log.frames), sched.Tiles)
+	}
+	seen := make([]bool, sched.Tiles)
+	for i, f := range log.frames {
+		if f.Tile < 0 || f.Tile >= sched.Tiles {
+			t.Fatalf("frame %d delivers out-of-range tile %d", i, f.Tile)
+		}
+		if seen[f.Tile] {
+			t.Errorf("tile %d delivered twice", f.Tile)
+		}
+		seen[f.Tile] = true
+		if f.Done != i+1 {
+			t.Errorf("frame %d: Done = %d, want %d (monotone count)", i, f.Done, i+1)
+		}
+		if f.Total != sched.Tiles {
+			t.Errorf("frame %d: Total = %d, want %d", i, f.Total, sched.Tiles)
+		}
+		if f.Span != spans[f.Tile] {
+			t.Errorf("tile %d: span %+v does not match the schedule's %+v", f.Tile, f.Span, spans[f.Tile])
+		}
+		if !bytes.Equal(log.pix[i], want.SpanBytes(spans[f.Tile])) {
+			t.Errorf("tile %d: progressively delivered pixels differ from the reference", f.Tile)
+		}
+	}
+}
+
+// TestProgressiveDegradedTilesNotDelivered: under compose-partial with total
+// loss, no tile is complete, so nothing may be delivered progressively —
+// degraded tiles appear only in the (flagged) final image.
+func TestProgressiveDegradedTilesNotDelivered(t *testing.T) {
+	// Reuses the total-loss scenario of TestPipelinedComposePartialDegrades,
+	// but watches the callback: the monotonicity contract says incomplete
+	// tiles are never streamed.
+	sched, err := schedule.NRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, _ := chaosLayers(51, sched.P)
+	log := &partialLog{}
+	opts := chaosPipelined(Options{
+		Codec: codec.TRLE{}, RecvTimeout: minRecvTimeout(), OnMissing: ComposePartial,
+	})
+	opts.Pipeline.OnPartial = log.add
+	o := runChaosCase(t, sched, layers, dropEverythingPlan(), -1, opts)
+	log.close()
+	for r, err := range o.errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if !o.anyDegraded() {
+		t.Fatal("total loss not flagged")
+	}
+	for _, f := range log.frames {
+		// A tile whose every contribution is local to the root can still
+		// complete; any delivered tile must at least be in range and unique.
+		if f.Tile < 0 || f.Tile >= sched.Tiles {
+			t.Fatalf("out-of-range progressive tile %d on a degraded run", f.Tile)
+		}
+	}
+	if log.late > 0 {
+		t.Fatalf("%d callback(s) after Run returned on a degraded run", log.late)
+	}
+}
+
+// TestProgressiveNoDoubleDeliveryAcrossRecovery is the epoch-boundary
+// satellite: a rank dying mid-pipeline aborts the epoch-0 attempt after
+// some tiles may already have streamed. The recovery re-execution must not
+// re-deliver them — every tile fires at most once across the whole run, and
+// every tile that did fire in epoch 0 carried its exact final pixels.
+func TestProgressiveNoDoubleDeliveryAcrossRecovery(t *testing.T) {
+	const die = 2
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, want := chaosLayers(52, sched.P)
+	spans := sched.TileSpans(want.NPixels())
+	log := &partialLog{}
+	opts := recoverOptions(codec.TRLE{})
+	opts.Pipeline.Enabled = true
+	opts.Pipeline.InterleaveSeed = 17
+	opts.Pipeline.OnPartial = log.add
+	o := runRecoverCase(t, sched, layers, map[int]int{die: 1}, opts)
+	log.close()
+
+	for r, err := range o.errs {
+		if r != die && err != nil {
+			t.Errorf("survivor rank %d failed: %v", r, err)
+		}
+	}
+	if o.final == nil || !raster.Equal(o.final, want) {
+		t.Fatal("pipelined recovery did not reproduce the fault-free image")
+	}
+	for r, rep := range o.reports {
+		if r == die || rep == nil {
+			continue
+		}
+		if !rep.Recovered || rep.Degraded {
+			t.Errorf("rank %d: Recovered=%v Degraded=%v after a recoverable death", r, rep.Recovered, rep.Degraded)
+		}
+	}
+	if log.late > 0 {
+		t.Fatalf("%d callback(s) fired after Run returned", log.late)
+	}
+	counts := make([]int, sched.Tiles)
+	for i, f := range log.frames {
+		counts[f.Tile]++
+		if counts[f.Tile] > 1 {
+			t.Errorf("tile %d delivered %d times across the recovery boundary", f.Tile, counts[f.Tile])
+		}
+		// A tile that completed before the abort had every contribution in
+		// hand, so its streamed pixels must already be final.
+		if !bytes.Equal(log.pix[i], want.SpanBytes(spans[f.Tile])) {
+			t.Errorf("tile %d: epoch-0 progressive pixels differ from the recovered image", f.Tile)
+		}
+	}
+}

@@ -126,6 +126,17 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		scr:   newRunScratch(),
 	}
 	defer rx.scr.release()
+	if src := opts.Pipeline.Source; opts.Pipeline.Enabled && src != nil {
+		// The replica exchange ships the complete local sub-image, so the
+		// render must finish before replication: Recover trades render
+		// overlap for a certifiable replica. Later WaitTile calls from the
+		// pipelined attempt return immediately.
+		for t, span := range sched.TileSpans(local.NPixels()) {
+			if err := src.WaitTile(t, span); err != nil {
+				return nil, nil, fmt.Errorf("compositor: tile %d render: %w", t, err)
+			}
+		}
+	}
 	replicas, aborted, err := rx.exchangeReplicas()
 	if err != nil {
 		return nil, nil, err
@@ -145,7 +156,16 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 			if rx.mem.Epoch() > 0 {
 				endRecover = rx.tel.Span(rx.me, telemetry.PhaseRecover, telemetry.CatCompute, telemetry.StepNone)
 			}
-			final, aborted, err = rx.epochAttempt(plan, owners, replicas)
+			if rx.mem.Epoch() == 0 && opts.Pipeline.Enabled {
+				// Only the first attempt is pipelined. runPipelined joins
+				// every worker and drains the in-flight window before
+				// returning, so an aborted attempt reaches the agreement
+				// below fully quiesced; re-executions over repaired
+				// schedules run synchronously.
+				final, aborted, err = runPipelined(c, plan, local, opts, cdc, rx.rep, rx)
+			} else {
+				final, aborted, err = rx.epochAttempt(plan, owners, replicas)
+			}
 			if endRecover != nil {
 				endRecover()
 			}

@@ -1,0 +1,230 @@
+// Per-tile decomposition of a composition schedule. Blocks never change
+// tile — Halves() preserves the Tile coordinate and transfers address whole
+// blocks — so a schedule partitions cleanly into independent per-tile step
+// sequences: tile t's pipeline is exactly the synchronous step loop
+// restricted to the transfers whose block lives in tile t. The pipelined
+// executor (pipeline.go) runs these restricted sequences concurrently.
+package compositor
+
+import (
+	"fmt"
+	"sort"
+
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+)
+
+// DefaultPipelineWindow is the in-flight tile window when
+// PipelineConfig.Window is zero: enough tiles to keep render, encode and
+// transfer overlapped without staging the whole frame at once.
+const DefaultPipelineWindow = 4
+
+// DefaultGatherWindow is the progressive-gather credit window when
+// PipelineConfig.GatherWindow is zero: each rank may have this many
+// unacknowledged completed-tile messages in flight to the root.
+const DefaultGatherWindow = 2
+
+// Source exposes an incrementally rendered local sub-image to the pipelined
+// compositor, so composition of early tiles overlaps rendering of later
+// ones. WaitTile blocks until the local pixels covering the tile's span are
+// final; it is called from multiple worker goroutines and must be safe for
+// concurrent use. A nil Source means the local image is already complete.
+type Source interface {
+	WaitTile(tile int, span raster.Span) error
+}
+
+// PartialFrame is one progressively delivered tile of the final image,
+// passed to PipelineConfig.OnPartial on the gather root as the tile's last
+// contribution arrives. Pix is borrowed from the frame under assembly and
+// is only valid during the callback; Done counts tiles delivered so far
+// (including this one) out of Total.
+type PartialFrame struct {
+	Tile  int
+	Span  raster.Span
+	Pix   []byte
+	Done  int
+	Total int
+}
+
+// PipelineConfig switches the compositor from the bulk-synchronous step
+// loop to the message-driven per-tile pipeline and tunes its windows. The
+// configuration must be identical on every rank of a run (like the schedule
+// and the codec): the windows shape the credit protocol and the tag space.
+type PipelineConfig struct {
+	// Enabled selects the pipelined executor. The synchronous path remains
+	// the default — and the differential oracle the pipelined output is
+	// byte-compared against in the tests.
+	Enabled bool
+	// Window bounds how many tiles one rank advances concurrently. Zero
+	// means DefaultPipelineWindow; negative means no bound (every tile in
+	// flight at once). Values above the schedule's tile count are clamped.
+	Window int
+	// GatherWindow bounds how many completed tiles a rank may have in
+	// flight to the gather root before a credit from the root must arrive —
+	// backpressure so a fast rank cannot swamp the root. Zero means
+	// DefaultGatherWindow; negative means no bound.
+	GatherWindow int
+	// InterleaveSeed, when non-zero, inserts a deterministic reordering
+	// stage in front of message dispatch: concurrently in-flight messages
+	// are released in an order that is a pure function of (seed, source,
+	// tag). The differential test harness sweeps seeds to prove the output
+	// does not depend on delivery order. Zero disables reordering.
+	InterleaveSeed int64
+	// Source gates each tile's staging on its pixels being rendered,
+	// overlapping composition with rendering. Nil means the local image
+	// passed to Run is already complete.
+	Source Source
+	// OnPartial, on the gather root, is called as each tile of the final
+	// image completes — progressive frame delivery. Callbacks are monotone:
+	// every completed tile is delivered exactly once, before Run returns.
+	// Degraded tiles (missing contributions under ComposePartial) are not
+	// delivered progressively; they appear only in the final image.
+	OnPartial func(PartialFrame)
+}
+
+// window resolves the configured in-flight window against a tile count.
+func (cfg PipelineConfig) window(tiles int) int {
+	w := cfg.Window
+	if w == 0 {
+		w = DefaultPipelineWindow
+	}
+	if w < 0 || w > tiles {
+		w = tiles
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gatherWindow resolves the credit window against this rank's total number
+// of progressive gather sends.
+func (cfg PipelineConfig) gatherWindow(sends int) int {
+	gw := cfg.GatherWindow
+	if gw == 0 {
+		gw = DefaultGatherWindow
+	}
+	if gw < 0 || gw > sends {
+		gw = sends
+	}
+	if gw < 1 {
+		gw = 1
+	}
+	return gw
+}
+
+// Reserved pipelined-path tags, epoch-scoped like every other tag. Step
+// tags always carry step+1 >= 1 in bits 40+, and the recovery/gather tags
+// (tagGatherFinal, tagReplica, tagCommitImg) set bit 39, so bits 37 and 38
+// are free regions below them.
+const (
+	tagTileGatherBase = 1 << 38 // | tile: one completed tile's final blocks
+	tagCreditBase     = 1 << 37 // | seq: progressive-gather flow-control credit
+)
+
+// tileGatherTag addresses one completed tile's progressive gather message.
+func tileGatherTag(epoch, tile int) int {
+	return epoch<<56 | tagTileGatherBase | (tile & 0xFFFF)
+}
+
+// creditTag addresses the seq-th gather credit the root grants a rank.
+// Sequencing the tag keeps every (source, tag) pair unique per epoch.
+func creditTag(epoch, seq int) int {
+	return epoch<<56 | tagCreditBase | (seq & 0xFFFF)
+}
+
+// tileStep is the slice of one schedule step that touches a single tile:
+// the halvings (which apply to whatever the tile's store holds) plus the
+// step's transfers restricted to blocks of that tile.
+type tileStep struct {
+	step  int // 0-based schedule step index
+	pre   int // halvings before the transfers
+	post  int // halvings after the transfers
+	sends []schedule.Transfer
+	recvs []schedule.Transfer
+}
+
+// tilePlans splits a schedule into per-tile step sequences for one rank.
+// Executing plan[t] against a store staged with NewTile(t) performs exactly
+// the tile-t portion of the synchronous step loop.
+func tilePlans(sched *schedule.Schedule, me int) [][]tileStep {
+	plans := make([][]tileStep, sched.Tiles)
+	for t := range plans {
+		steps := make([]tileStep, len(sched.Steps))
+		for si, step := range sched.Steps {
+			ts := tileStep{step: si, pre: step.PreHalvings, post: step.PostHalvings}
+			for _, tr := range step.Transfers {
+				if tr.Block.Tile != t {
+					continue
+				}
+				switch {
+				case tr.From == me:
+					ts.sends = append(ts.sends, tr)
+				case tr.To == me:
+					ts.recvs = append(ts.recvs, tr)
+				}
+			}
+			steps[si] = ts
+		}
+		plans[t] = steps
+	}
+	return plans
+}
+
+// finalTileHolders simulates the schedule's block flow and reports, for
+// every tile, the sorted set of ranks left holding at least one of its
+// blocks when the schedule completes — the contributors the progressive
+// gather expects for that tile. The simulation mirrors the executor: a
+// transfer moves the whole block from sender to receiver; halvings replace
+// every held block by its two children.
+func finalTileHolders(sched *schedule.Schedule) ([][]int, error) {
+	held := make([]map[schedule.Block]bool, sched.P)
+	for r := range held {
+		held[r] = make(map[schedule.Block]bool, sched.Tiles)
+		for t := 0; t < sched.Tiles; t++ {
+			held[r][schedule.Block{Tile: t}] = true
+		}
+	}
+	halve := func(h map[schedule.Block]bool) map[schedule.Block]bool {
+		next := make(map[schedule.Block]bool, 2*len(h))
+		for b := range h {
+			c0, c1 := b.Halves()
+			next[c0], next[c1] = true, true
+		}
+		return next
+	}
+	for si, step := range sched.Steps {
+		for r := range held {
+			for i := 0; i < step.PreHalvings; i++ {
+				held[r] = halve(held[r])
+			}
+		}
+		for _, tr := range step.Transfers {
+			if !held[tr.From][tr.Block] {
+				return nil, fmt.Errorf("compositor: step %d: rank %d does not hold block %v",
+					si+1, tr.From, tr.Block)
+			}
+			delete(held[tr.From], tr.Block)
+			held[tr.To][tr.Block] = true
+		}
+		for r := range held {
+			for i := 0; i < step.PostHalvings; i++ {
+				held[r] = halve(held[r])
+			}
+		}
+	}
+	holders := make([][]int, sched.Tiles)
+	for r, h := range held {
+		seen := make([]bool, sched.Tiles)
+		for b := range h {
+			if !seen[b.Tile] {
+				seen[b.Tile] = true
+				holders[b.Tile] = append(holders[b.Tile], r)
+			}
+		}
+	}
+	for t := range holders {
+		sort.Ints(holders[t])
+	}
+	return holders, nil
+}

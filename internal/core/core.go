@@ -159,6 +159,20 @@ type Config struct {
 	// MaxRecoveries bounds the "recover" policy's re-executions; zero means
 	// the compositor default, negative forbids re-execution.
 	MaxRecoveries int
+	// Pipeline switches composition from the bulk-synchronous step loop to
+	// the message-driven per-tile pipeline: composition starts as soon as
+	// the first tile's rows are rendered (1-D partition, plain renderer),
+	// and completed tiles stream progressively to rank 0.
+	Pipeline bool
+	// PipelineWindow bounds the tiles one rank advances concurrently under
+	// Pipeline; zero means the compositor default, negative is unbounded.
+	PipelineWindow int
+	// InterleaveSeed, non-zero, seeds the pipelined path's deterministic
+	// delivery reordering (the differential test harness's knob).
+	InterleaveSeed int64
+	// OnPartialFrame, with Pipeline on, fires on rank 0 as each tile of the
+	// intermediate image completes — progressive frame delivery.
+	OnPartialFrame func(compositor.PartialFrame)
 	// Telemetry records per-rank render/composite/warp spans and counters
 	// for the frame. Nil (the default) disables recording.
 	Telemetry *telemetry.Recorder
@@ -178,6 +192,12 @@ func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) 
 		OnMissing:     policy,
 		MaxRecoveries: cfg.MaxRecoveries,
 		Telemetry:     cfg.Telemetry,
+		Pipeline: compositor.PipelineConfig{
+			Enabled:        cfg.Pipeline,
+			Window:         cfg.PipelineWindow,
+			InterleaveSeed: cfg.InterleaveSeed,
+			OnPartial:      cfg.OnPartialFrame,
+		},
 	}, nil
 }
 
@@ -310,9 +330,7 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 	compositeStart := time.Now()
 	err = inproc.Run(cfg.P, func(c comm.Comm) error {
 		t0 := time.Now()
-		endRender := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseRender, telemetry.CatCompute, telemetry.StepNone)
-		partial, err := cfg.partials(ctx, c.Rank())
-		endRender()
+		partial, src, err := cfg.startPartials(ctx, c.Rank(), sched.Tiles)
 		if err != nil {
 			return err
 		}
@@ -321,10 +339,12 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 		if err != nil {
 			return err
 		}
+		copts.Pipeline.Source = src
 		img, rep, err := compositor.Run(c, sched, partial, copts)
 		if err != nil {
 			return err
 		}
+		renderTimes[c.Rank()] = renderElapsed(src, renderTimes[c.Rank()])
 		mu.Lock()
 		out.Reports[c.Rank()] = rep
 		if img != nil {
@@ -389,9 +409,7 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if err != nil {
 		return nil, nil, err
 	}
-	endRender := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseRender, telemetry.CatCompute, telemetry.StepNone)
-	partial, err := cfg.partials(cfg.newRenderCtx(r, view), c.Rank())
-	endRender()
+	partial, src, err := cfg.startPartials(cfg.newRenderCtx(r, view), c.Rank(), sched.Tiles)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -399,6 +417,7 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if err != nil {
 		return nil, nil, err
 	}
+	copts.Pipeline.Source = src
 	inter, rep, err := compositor.Run(c, sched, partial, copts)
 	if err != nil {
 		return nil, nil, err

@@ -47,6 +47,25 @@ func New(rank int, sched *schedule.Schedule, local *raster.Image) *Store {
 	return st
 }
 
+// NewTile stages only one tile's initial block of a rank's partial image —
+// the staging primitive of the pipelined executor, which runs every tile
+// through the schedule as an independent state machine with its own store.
+// The store still knows all tile spans, so Span resolves any block, but it
+// holds (and halves, merges, gathers) blocks of the given tile only.
+func NewTile(rank int, sched *schedule.Schedule, local *raster.Image, tile int) *Store {
+	st := &Store{
+		rank:  rank,
+		tiles: sched.TileSpans(local.NPixels()),
+		held:  map[schedule.Block][]Fragment{},
+	}
+	b := schedule.Block{Tile: tile}
+	st.held[b] = []Fragment{{
+		Rng:  schedule.RankRange{Lo: rank, Hi: rank + 1},
+		Data: copySpan(local, b.Span(st.tiles)),
+	}}
+	return st
+}
+
 // copySpan stages a span of an image into a pooled buffer, so staging
 // participates in the same recycle cycle as every other store buffer.
 func copySpan(img *raster.Image, s raster.Span) []byte {

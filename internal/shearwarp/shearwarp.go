@@ -202,6 +202,70 @@ func (r *Renderer) RenderSlab(v *View, kLo, kHi int) (*raster.Image, error) {
 	return out, nil
 }
 
+// RenderSlabRows renders the slab's contribution to intermediate-image rows
+// [y0, y1) into out (which must have the view's intermediate size). It is
+// the band-restricted form of RenderSlab for incremental rendering: every
+// pixel of the band still accumulates its slices in front-to-back k order,
+// so rendering a partition of [0, hi) band by band reproduces RenderSlab
+// exactly — and a band is final as soon as its call returns, which is what
+// lets the pipelined compositor start on early tiles while later bands are
+// still rendering.
+func (r *Renderer) RenderSlabRows(v *View, kLo, kHi, y0, y1 int, out *raster.Image) error {
+	if kLo < 0 || kHi > v.nk || kLo > kHi {
+		return fmt.Errorf("shearwarp: slab [%d,%d) outside [0,%d)", kLo, kHi, v.nk)
+	}
+	if y0 < 0 || y1 > v.hi || y0 > y1 {
+		return fmt.Errorf("shearwarp: row band [%d,%d) outside [0,%d)", y0, y1, v.hi)
+	}
+	if out.W != v.wi || out.H != v.hi {
+		return fmt.Errorf("shearwarp: output image is %dx%d, view wants %dx%d",
+			out.W, out.H, v.wi, v.hi)
+	}
+	slice := make([]uint8, v.ni*v.nj)
+	for k := kLo; k < kHi; k++ {
+		ui := v.oi + v.si*float64(k)
+		vj := v.oj + v.sj*float64(k)
+		u0 := int(math.Floor(ui))
+		v0 := int(math.Floor(vj))
+		// The slice's row footprint clipped to the band; skip the (costly)
+		// slice extraction when the footprint misses the band entirely.
+		vLo, vHi := v0, v0+v.nj
+		if vLo < y0 {
+			vLo = y0
+		}
+		if vHi > y1-1 {
+			vHi = y1 - 1
+		}
+		if vLo > vHi {
+			continue
+		}
+		r.extractSlice(v, k, slice)
+		for v1 := vLo; v1 <= vHi; v1++ {
+			jf := float64(v1) - vj
+			for u1 := u0; u1 <= u0+v.ni; u1++ {
+				if u1 < 0 || u1 >= v.wi {
+					continue
+				}
+				pi := (v1*v.wi + u1) * raster.BytesPerPixel
+				if out.Pix[pi+1] == 255 {
+					continue
+				}
+				ifl := float64(u1) - ui
+				s, ok := bilinear(slice, v.ni, v.nj, ifl, jf)
+				if !ok {
+					continue
+				}
+				val, a := r.TF.Classify(s)
+				if a == 0 {
+					continue
+				}
+				overPixel(out.Pix[pi:pi+2:pi+2], val, a)
+			}
+		}
+	}
+	return nil
+}
+
 // RenderIntermediate renders the full intermediate (sheared, unwarped)
 // image.
 func (r *Renderer) RenderIntermediate(v *View) (*raster.Image, error) {

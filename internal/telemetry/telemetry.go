@@ -41,6 +41,12 @@ const (
 	PhaseReplicate = "replicate" // buddy replication exchange before step 1
 	PhaseAgree     = "agree"     // membership agreement rounds
 	PhaseRecover   = "recover"   // a recovery re-execution epoch
+
+	// PhaseTile is one tile's full pipelined state machine (stage through
+	// gather) on one rank; the span's step field carries the tile index, so
+	// a trace shows which tiles were in flight concurrently — and whether
+	// composition overlapped the render spans.
+	PhaseTile = "tile"
 )
 
 // Counter names recorded by the instrumented pipeline.
@@ -78,6 +84,12 @@ const (
 	CtrPoolHit   = "pool_hit"   // buffer-pool gets served from a free list
 	CtrPoolMiss  = "pool_miss"  // buffer-pool gets that had to allocate
 	CtrPoolBytes = "pool_bytes" // bytes served from recycled buffers
+
+	CtrTilesDone       = "tiles_done"        // pipelined tiles fully processed on this rank
+	CtrPipeInflightMax = "pipe_inflight_max" // peak tiles simultaneously in flight on this rank
+	CtrCreditsGranted  = "credits_granted"   // progressive-gather credits the root granted
+	CtrCreditWaits     = "credit_waits"      // gather sends that blocked on a credit
+	CtrPartialTiles    = "partial_tiles"     // completed tiles delivered progressively at the root
 )
 
 // StepNone marks a span or counter that is not scoped to a composition step

@@ -103,6 +103,20 @@ type CompositeOptions = compositor.Options
 // CompositeReport summarises one rank's composition work.
 type CompositeReport = compositor.Report
 
+// Per-tile pipelined composition (CompositeOptions.Pipeline).
+type (
+	// TilePipeline enables and tunes the asynchronous per-tile pipelined
+	// executor: bounded in-flight window, deterministic receive
+	// interleaving, an optional streaming render Source and progressive
+	// tile delivery at the gather root.
+	TilePipeline = compositor.PipelineConfig
+	// PartialFrame is one finished tile streamed to the gather root's
+	// OnPartial callback while later tiles are still in flight.
+	PartialFrame = compositor.PartialFrame
+	// TileSource gates each tile's pipeline on a render in progress.
+	TileSource = compositor.Source
+)
+
 // Composite executes a schedule for this rank's partial image over the
 // communicator; the gather root receives the final image.
 var Composite = compositor.Run
