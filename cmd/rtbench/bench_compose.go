@@ -36,6 +36,16 @@ type benchRow struct {
 	// wall extent. 1.0 means tiles ran strictly one after another; above 1
 	// is the overlap the pipeline exists to create. Zero for sync rows.
 	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
+	// Latency quantiles of the same instrumented pipelined run, merged
+	// across ranks from the run's log-bucketed histograms: tile claim ->
+	// fully composited, and run start -> progressive tile delivery at the
+	// gather root. Zero for sync rows.
+	TileP50Ns    int64 `json:"tile_p50_ns,omitempty"`
+	TileP95Ns    int64 `json:"tile_p95_ns,omitempty"`
+	TileP99Ns    int64 `json:"tile_p99_ns,omitempty"`
+	PartialP50Ns int64 `json:"partial_p50_ns,omitempty"`
+	PartialP95Ns int64 `json:"partial_p95_ns,omitempty"`
+	PartialP99Ns int64 `json:"partial_p99_ns,omitempty"`
 }
 
 func (r benchRow) key() string {
@@ -91,8 +101,9 @@ func benchLayers(p, w, h int) []*raster.Image {
 // its PhaseTile spans to the mean per-rank tile concurrency: for each rank,
 // the summed tile span durations divided by the wall extent the rank spent
 // processing tiles. Strictly sequential tile handling scores 1.0; the
-// pipeline's whole point is to score above it.
-func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compositor.Options) (float64, error) {
+// pipeline's whole point is to score above it. The recorder is returned so
+// the caller can also mine the run's latency histograms.
+func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compositor.Options) (float64, *telemetry.Recorder, error) {
 	rec := telemetry.New()
 	opts.Telemetry = rec
 	err := inproc.Run(sched.P, func(c comm.Comm) error {
@@ -100,7 +111,7 @@ func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compo
 		return err
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	type ext struct {
 		sum, lo, hi time.Duration
@@ -124,7 +135,7 @@ func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compo
 		}
 	}
 	if len(per) == 0 {
-		return 0, fmt.Errorf("pipelined run recorded no %s spans", telemetry.PhaseTile)
+		return 0, nil, fmt.Errorf("pipelined run recorded no %s spans", telemetry.PhaseTile)
 	}
 	var tot float64
 	for _, e := range per {
@@ -132,7 +143,7 @@ func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compo
 			tot += float64(e.sum) / float64(e.hi-e.lo)
 		}
 	}
-	return tot / float64(len(per)), nil
+	return tot / float64(len(per)), rec, nil
 }
 
 // benchCompose runs the full matrix, writes rows to outPath and, when
@@ -181,17 +192,26 @@ func benchCompose(outPath, budgetPath string) error {
 						AllocsPerOp: res.AllocsPerOp(),
 					}
 					if pipelined {
-						ratio, err := measureOverlap(sched, layers, opts)
+						ratio, rec, err := measureOverlap(sched, layers, opts)
 						if err != nil {
 							return err
 						}
 						row.OverlapRatio = ratio
+						qs := rec.QuantileAll(telemetry.HistTileLatency, 0.50, 0.95, 0.99)
+						row.TileP50Ns = int64(qs[0])
+						row.TileP95Ns = int64(qs[1])
+						row.TileP99Ns = int64(qs[2])
+						qs = rec.QuantileAll(telemetry.HistPartialLatency, 0.50, 0.95, 0.99)
+						row.PartialP50Ns = int64(qs[0])
+						row.PartialP95Ns = int64(qs[1])
+						row.PartialP99Ns = int64(qs[2])
 					}
 					rows = append(rows, row)
 					fmt.Printf("%-20s %12.0f ns/op %12d B/op %8d allocs/op",
 						row.key(), row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 					if pipelined {
-						fmt.Printf("  overlap %.2fx", row.OverlapRatio)
+						fmt.Printf("  overlap %.2fx  tile p50/p99 %v/%v",
+							row.OverlapRatio, time.Duration(row.TileP50Ns), time.Duration(row.TileP99Ns))
 					}
 					fmt.Println()
 				}

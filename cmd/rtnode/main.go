@@ -11,11 +11,14 @@
 //
 //	rtnode -local 4 -dataset engine -method 2nrt:4 -o engine.png
 //
-// Observability: -trace-out writes the run's per-rank telemetry spans as
-// Chrome trace-event JSON (open in chrome://tracing or Perfetto), rank 0
-// prints the cross-rank per-step timing/bytes table, and -debug-addr
-// serves live /metrics (Prometheus text), /debug/vars and /debug/pprof
-// while the node runs.
+// Observability: -trace-out writes the run's per-rank telemetry spans and
+// causal message flows as Chrome trace-event JSON (open in chrome://tracing
+// or Perfetto; merge the per-process -rNN files with rttrace), rank 0
+// prints the cross-rank per-step timing/bytes table with latency quantiles,
+// and -debug-addr serves live /metrics (Prometheus text), /debug/vars,
+// /debug/flight and (unless -pprof=false) /debug/pprof while the node runs.
+// SIGQUIT dumps the flight recorder's recent events to stderr without
+// killing the process; a panic dumps it on the way down.
 package main
 
 import (
@@ -64,8 +67,9 @@ func main() {
 		reconnTO  = flag.Duration("reconnect-timeout", 0, "per-outage session resume budget (0 = default)")
 		maxReconn = flag.Int("max-reconnects", 0, "redial attempts per outage (0 = default, negative disables reconnection)")
 		heartbeat = flag.Duration("heartbeat", 0, "session heartbeat interval (0 = default, negative disables)")
-		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added)")
-		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address")
+		traceOut  = flag.String("trace-out", "", "write this run's telemetry as Chrome trace JSON (multi-process: a -rNN rank suffix is added; merge with rttrace)")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /debug/vars, /debug/flight and /debug/pprof on this address")
+		withPprof = flag.Bool("pprof", true, "expose /debug/pprof on -debug-addr (operator-facing node listener: on by default)")
 		pipeline  = flag.Bool("pipeline", false, "per-tile pipelined composition: overlap render, exchange and gather")
 		pipeWin   = flag.Int("pipeline-window", 0, "tiles in flight per rank with -pipeline (0 = default, negative = unbounded)")
 		ilSeed    = flag.Int64("interleave-seed", 0, "deterministic receive-interleaving seed with -pipeline (0 = arrival order)")
@@ -87,14 +91,16 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 	}
 	rec := telemetry.New()
+	defer rec.DumpFlightOnPanic(os.Stderr)
+	dumpFlightOnQuit(rec)
 	if *debugAddr != "" {
-		srv := telemetry.NewServer(*debugAddr, telemetry.Mux(rec))
+		srv := telemetry.NewServer(*debugAddr, telemetry.Mux(rec, *withPprof))
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "rtnode: debug server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "rtnode: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "rtnode: serving /metrics, /debug/vars, /debug/flight on http://%s (pprof: %v)\n", *debugAddr, *withPprof)
 	}
 	mkConfig := func(p int) core.Config {
 		cfg := core.Config{
@@ -244,6 +250,23 @@ func noteRecovered(rep *compositor.Report) {
 		rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
 }
 
+// dumpFlightOnQuit makes SIGQUIT dump the flight recorder's recent events
+// to stderr and keep running — the live "what just happened" probe for a
+// node that looks wedged, without sacrificing the process the way the Go
+// runtime's default SIGQUIT goroutine dump does.
+func dumpFlightOnQuit(rec *telemetry.Recorder) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			fmt.Fprintln(os.Stderr, "rtnode: SIGQUIT")
+			if err := rec.WriteFlight(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "rtnode: flight dump: %v\n", err)
+			}
+		}
+	}()
+}
+
 // flushOnSignal makes SIGINT/SIGTERM flush the observability before dying:
 // the trace file (when -trace-out is set) and the partial telemetry table
 // land on disk/stderr even when the run is interrupted mid-frame — exactly
@@ -281,6 +304,7 @@ func runLocal(p int, cfg core.Config, rec *telemetry.Recorder, out, traceOut str
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			defer rec.DumpFlightOnPanic(os.Stderr)
 			ep, err := tcpnet.Start(tcpnet.Config{
 				Rank: r, Addrs: addrs, Listener: lns[r],
 				DialTimeout: timeout, Telemetry: rec, Session: sess,
@@ -343,14 +367,15 @@ func rankedPath(base string, rank int) string {
 	return fmt.Sprintf("%s-r%02d%s", stem, rank, ext)
 }
 
-// writeTrace dumps the recorder's spans as Chrome trace-event JSON.
+// writeTrace dumps the recorder's spans plus causal flow edges as Chrome
+// trace-event JSON — the per-rank input of an rttrace merge.
 func writeTrace(rec *telemetry.Recorder, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return trace.WriteChromeSpans(f, rec.Spans())
+	return trace.WriteChromeSpansFlows(f, rec.Spans(), rec.Flows())
 }
 
 func writeImage(img *raster.Image, path string) error {

@@ -38,6 +38,7 @@ func main() {
 		slots  = flag.Int("slots", 2, "concurrent render slots; excess requests get 503 + Retry-After")
 		reqTO  = flag.Duration("request-timeout", 30*time.Second, "per-request render deadline (0 = none)")
 		pipe   = flag.Bool("pipeline", false, "compose frames with the per-tile pipelined compositor by default (per-request override: ?pipeline=0|1)")
+		pprofF = flag.Bool("pprof", false, "expose /debug/pprof on the frame listener (off by default: whoever can fetch frames should not get CPU profiles)")
 	)
 	flag.Parse()
 
@@ -47,8 +48,8 @@ func main() {
 	}
 	// An http.Server with explicit limits, not the timeout-less
 	// http.ListenAndServe: a stalled client must not pin a handler forever.
-	hs := telemetry.NewServer(*listen, newMux(srv))
-	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3, %d slot(s)); telemetry at /metrics, /debug/vars, /debug/pprof", *listen, *p, *volN, *slots)
+	hs := telemetry.NewServer(*listen, newMux(srv, *pprofF))
+	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3, %d slot(s)); telemetry at /metrics, /debug/vars, /debug/flight (pprof: %v)", *listen, *p, *volN, *slots, *pprofF)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, lets in-flight
 	// renders drain (bounded), then exits — no frames cut off mid-PNG.
@@ -72,11 +73,11 @@ func main() {
 
 // newMux wires the viewer endpoints and the live telemetry surface onto one
 // mux — split out of main so tests can drive the full routing table.
-func newMux(s *server) *http.ServeMux {
+func newMux(s *server, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/render", s.render)
 	mux.HandleFunc("/", s.index)
-	debug := telemetry.Mux(s.rec)
+	debug := telemetry.Mux(s.rec, withPprof)
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
 	return mux

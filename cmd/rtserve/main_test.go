@@ -58,7 +58,7 @@ func TestRenderEndpointRejectsBadInput(t *testing.T) {
 // format and that the render left counters behind.
 func TestMetricsEndpoint(t *testing.T) {
 	srv := &server{p: 2, volN: 32, rec: telemetry.New()}
-	mux := newMux(srv)
+	mux := newMux(srv, false)
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/render?dataset=engine&size=32&method=bs", nil))
@@ -93,6 +93,38 @@ func TestMetricsEndpoint(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "rtcomp") {
 		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+}
+
+// TestMuxHardening: /metrics must be uncacheable, /debug/flight must
+// answer, and the profiler endpoints must exist only when opted in.
+func TestMuxHardening(t *testing.T) {
+	srv := &server{p: 2, volN: 32, rec: telemetry.New()}
+	mux := newMux(srv, false)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("/metrics Cache-Control = %q, want no-store", cc)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "flight recorder") {
+		t.Fatalf("/debug/flight status %d: %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code == 200 {
+		t.Fatalf("/debug/pprof/ answered %d with pprof disabled", rec.Code)
+	}
+
+	open := telemetry.Mux(srv.rec, true)
+	rec = httptest.NewRecorder()
+	open.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status %d with pprof enabled", rec.Code)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ type chaosConfig struct {
 	onMissing     string
 	maxRecoveries int    // re-execution budget of the recover policy
 	traceOut      string // write the real run's telemetry as Chrome trace JSON
+	tracePerRank  bool   // split -trace-out into per-rank -rNN files (rttrace merge input)
 	gantt         bool   // print the per-rank span occupancy chart
 	pipeline      bool   // run the per-tile pipelined compositor
 }
@@ -72,7 +74,9 @@ func runChaos(cc chaosConfig) error {
 	rankErrs := make([]error, p)
 	stats := make([]faulty.Stats, p)
 	t0 := time.Now()
-	inproc.Run(p, func(inner comm.Comm) error {
+	// RunTel hands the fabric the recorder, so every message carries a
+	// trace context and leaves send/recv flow edges for the trace export.
+	inproc.RunTel(p, rec, func(inner comm.Comm) error {
 		rankPlan := plan
 		if cc.dieAfter > 0 && inner.Rank() == p-1 {
 			rankPlan.DieAfterSends = cc.dieAfter
@@ -164,18 +168,16 @@ func runChaos(cc chaosConfig) error {
 		fmt.Print(trace.SpanGantt(rec.Spans(), p, 96))
 	}
 	if cc.traceOut != "" {
-		f, err := os.Create(cc.traceOut)
-		if err != nil {
+		if err := writeChaosTraces(rec, cc.traceOut, cc.tracePerRank, p); err != nil {
 			return err
 		}
-		werr := trace.WriteChromeSpans(f, rec.Spans())
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Printf("wrote %s (%d spans) — open in chrome://tracing or ui.perfetto.dev\n", cc.traceOut, len(rec.Spans()))
+	}
+	// The black box of anything that went wrong: a failed rank or a
+	// recovery carries its recent event history onto stdout, the same dump
+	// a FailFast stall embeds in its error.
+	if (failed > 0 || recovered) && rec.FlightDump() != "" {
+		fmt.Println()
+		fmt.Println(rec.FlightDump())
 	}
 
 	switch {
@@ -209,4 +211,64 @@ func runChaos(cc chaosConfig) error {
 			raster.MaxDiff(final, want), tol)
 	}
 	return nil
+}
+
+// writeChaosTraces exports the run's spans and causal flow edges as Chrome
+// trace JSON: one shared file, or (perRank) one -rNN file per rank holding
+// only that rank's events — the input shape of an rttrace merge, which the
+// CI trace-smoke job stitches back together and validates.
+func writeChaosTraces(rec *telemetry.Recorder, path string, perRank bool, p int) error {
+	spans, flows := rec.Spans(), rec.Flows()
+	if !perRank {
+		if err := writeTraceFile(path, spans, flows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d spans, %d flow events) — open in chrome://tracing or ui.perfetto.dev\n",
+			path, len(spans), len(flows))
+		return nil
+	}
+	for r := 0; r < p; r++ {
+		var rs []telemetry.Span
+		for _, s := range spans {
+			if s.Rank == r {
+				rs = append(rs, s)
+			}
+		}
+		var rf []telemetry.Flow
+		for _, f := range flows {
+			if f.Rank == r {
+				rf = append(rf, f)
+			}
+		}
+		rp := rankedPath(path, r)
+		if err := writeTraceFile(rp, rs, rf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d spans, %d flow events)\n", rp, len(rs), len(rf))
+	}
+	fmt.Printf("merge with: rttrace -o merged.json %s\n", rankedPath(path, 0))
+	return nil
+}
+
+func writeTraceFile(path string, spans []telemetry.Span, flows []telemetry.Flow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.WriteChromeSpansFlows(f, spans, flows)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// rankedPath inserts a rank suffix before the extension:
+// trace.json -> trace-r03.json.
+func rankedPath(base string, rank int) string {
+	ext := ""
+	stem := base
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		stem, ext = base[:i], base[i:]
+	}
+	return fmt.Sprintf("%s-r%02d%s", stem, rank, ext)
 }

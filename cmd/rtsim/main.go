@@ -46,6 +46,7 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print the per-rank occupancy chart")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON file")
 		traceOut  = flag.String("trace-out", "", "with -chaos: write the real run's telemetry as Chrome trace JSON (otherwise same as -trace)")
+		tracePR   = flag.Bool("trace-per-rank", false, "with -chaos -trace-out: write one -rNN trace file per rank (merge with rttrace)")
 		dotFile   = flag.String("dot", "", "write the schedule as a Graphviz digraph")
 
 		chaos     = flag.Bool("chaos", false, "run for real on the fault-injected in-process fabric")
@@ -120,7 +121,7 @@ func main() {
 			delayProb: *delayProb, maxDelay: *maxDelay,
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
 			recvTimeout: *recvTO, onMissing: *missing, maxRecoveries: *maxRec,
-			traceOut: *traceOut, gantt: *gantt, pipeline: *pipeline,
+			traceOut: *traceOut, tracePerRank: *tracePR, gantt: *gantt, pipeline: *pipeline,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,84 @@
+// rttrace merges per-rank Chrome trace files from a distributed run into
+// one causally-stitched timeline and reports the critical path of the
+// composition.
+//
+// Each rank of an rtnode run writes its own trace (-trace-out out-rNN.json)
+// against its own clock; rtsim -chaos -trace-per-rank does the same for the
+// in-process fabric. rttrace aligns the clocks using the flow edges the
+// transports embed on every message, writes a single merged file, and
+// prints where the wall-clock time of the run actually went:
+//
+//	rttrace -o merged.json out-r*.json
+//	rttrace -strict out-r0.json out-r1.json     # fail on half-open flows
+//
+// The merged file opens in chrome://tracing or ui.perfetto.dev with arrows
+// drawn between the send and receive spans of every message. -strict exits
+// non-zero when any send flow lacks a matching receive (or vice versa) —
+// on a run without message loss that indicates broken instrumentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtcomp/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write the merged Chrome trace JSON to this file")
+		strict = flag.Bool("strict", false, "exit non-zero if any flow edge is half-open")
+		quiet  = flag.Bool("q", false, "suppress the critical-path report")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rttrace [-o merged.json] [-strict] trace-r0.json [trace-r1.json ...]")
+		os.Exit(2)
+	}
+
+	m, err := trace.MergeFiles(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d file(s): %d event(s), %d send / %d recv flow(s)\n",
+		flag.NArg(), m.Events(), m.Sends, m.Recvs)
+	for i, off := range m.OffsetsUS {
+		if off != 0 {
+			fmt.Printf("  %s: clock offset %+.1fus\n", flag.Arg(i), off)
+		}
+	}
+	if serr := m.Strict(); serr != nil {
+		fmt.Fprintln(os.Stderr, "rttrace:", serr)
+		if *strict {
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s — open in chrome://tracing\n", *out)
+	}
+
+	if !*quiet {
+		if cp := m.CriticalPath(); cp != nil {
+			fmt.Println()
+			fmt.Print(cp.Report())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rttrace:", err)
+	os.Exit(1)
+}

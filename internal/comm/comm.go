@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"rtcomp/internal/traceid"
 )
 
 // Comm is one rank's endpoint into a P-way communicator.
@@ -56,6 +58,27 @@ type Comm interface {
 	// Close releases the endpoint. Other ranks' pending operations may fail
 	// after a Close.
 	Close() error
+}
+
+// CtxSender is optionally implemented by fabrics that can attach a causal
+// trace context to an outgoing message. The fabric completes a context
+// whose Seq is zero (minting Origin and Seq at the hand-off point) and
+// records the send side of the flow on its telemetry recorder; the receive
+// side is recorded when the matching Recv consumes the message, so a
+// stitched timeline links the two ranks.
+type CtxSender interface {
+	SendCtx(to, tag int, payload []byte, tc traceid.Context) error
+}
+
+// SendCtx sends through c's CtxSender when the fabric implements it,
+// falling back to a plain Send (dropping the context) otherwise. It is how
+// the compositor attributes messages to (step, tile, epoch) without every
+// fabric being required to carry contexts.
+func SendCtx(c Comm, to, tag int, payload []byte, tc traceid.Context) error {
+	if cs, ok := c.(CtxSender); ok {
+		return cs.SendCtx(to, tag, payload, tc)
+	}
+	return c.Send(to, tag, payload)
 }
 
 // ErrDeadline is the sentinel matched (via errors.Is) by every

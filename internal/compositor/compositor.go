@@ -22,6 +22,7 @@ import (
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 )
 
 // Policy selects how a composition reacts to a missing contribution — a
@@ -590,7 +591,8 @@ func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *t
 	tel.AddStep(rep.Rank, step, telemetry.CtrRawBytes, raw)
 	tel.AddStep(rep.Rank, step, telemetry.CtrWireBytes, wire)
 	endSend := tel.Span(rep.Rank, telemetry.PhaseSend, telemetry.CatNetwork, step)
-	err = c.Send(tr.To, tagFor(epoch, step, tr.Block), buf)
+	err = comm.SendCtx(c, tr.To, tagFor(epoch, step, tr.Block), buf,
+		traceid.Context{Step: step, Tile: tr.Block.Tile, Epoch: epoch})
 	endSend()
 	return err
 }

@@ -45,6 +45,7 @@ import (
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 )
 
 // pipePollChunk bounds one blocking receive of the pipelined receiver, so
@@ -115,6 +116,14 @@ func (lc *lockedComm) Send(to, tag int, payload []byte) error {
 	return lc.Comm.Send(to, tag, payload)
 }
 
+// SendCtx forwards the trace context to the wrapped fabric under the same
+// send lock, so causal tracing survives the serialization wrapper.
+func (lc *lockedComm) SendCtx(to, tag int, payload []byte, tc traceid.Context) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return comm.SendCtx(lc.Comm, to, tag, payload, tc)
+}
+
 // pipeWorker is one worker goroutine's private state: its own scratch and
 // its own report shard, merged into the shared report when it exits.
 type pipeWorker struct {
@@ -169,6 +178,8 @@ type pipeRun struct {
 
 	sawMissing atomic.Bool
 	workerWG   sync.WaitGroup
+
+	t0 time.Time // run start; OnPartial delivery latency is measured from it
 }
 
 // newPipeRun builds the run state: per-tile plans, the gather expectation
@@ -273,6 +284,7 @@ func newPipeRun(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 // abort, so the in-flight window is fully drained before the caller moves
 // on (the recovery barrier depends on this quiescence).
 func (pr *pipeRun) run() {
+	pr.t0 = time.Now()
 	go pr.receiver()
 	if pr.root >= 0 && pr.me == pr.root {
 		go pr.assembler()
@@ -330,6 +342,7 @@ func (pr *pipeRun) abortAttempt(suspects []int, broadcast bool) {
 			comm.BroadcastFailure(pr.c, rx.mem, suspects)
 			pr.tel.Add(pr.me, telemetry.CtrFailNotices, 1)
 		}
+		pr.tel.Flight(pr.me, telemetry.FlightEpoch, telemetry.StepNone, -1, -1, "attempt aborted")
 		pr.mu.Lock()
 		pr.aborted = true
 		pr.mu.Unlock()
@@ -393,7 +406,9 @@ func (pr *pipeRun) mergeWorkerReport(wr *Report) {
 // recorded on the run.
 func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 	me, tel := pr.me, pr.tel
+	claimed := time.Now()
 	pr.states[t].Store(stateRenderWait)
+	tel.Flight(me, telemetry.FlightTile, telemetry.StepNone, t, -1, "claimed")
 	if src := pr.opts.Pipeline.Source; src != nil {
 		if err := src.WaitTile(t, pr.spans[t]); err != nil {
 			return pr.failf("compositor: tile %d render: %w", t, err)
@@ -415,6 +430,7 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 		ts := &pr.plans[t][i]
 		pr.fireOnStep(ts.step)
 		pr.states[t].Store(stateStepBase + int32(ts.step))
+		tel.Flight(me, telemetry.FlightTile, ts.step, t, -1, "step")
 		for h := 0; h < ts.pre; h++ {
 			st.HalveAll()
 		}
@@ -505,7 +521,9 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 		return err
 	}
 	pr.states[t].Store(stateStepBase + int32(len(pr.sched.Steps)) + 1)
+	tel.Flight(me, telemetry.FlightTile, telemetry.StepNone, t, -1, "done")
 	tel.Add(me, telemetry.CtrTilesDone, 1)
+	tel.Observe(me, telemetry.HistTileLatency, time.Since(claimed))
 	return nil
 }
 
@@ -531,6 +549,7 @@ func takeStashed(stash *[]tileMsg, si int) (tileMsg, bool) {
 // by the credit window.
 func (pr *pipeRun) deliverTile(w *pipeWorker, t int, st *fragstore.Store, handed *bool) error {
 	pr.states[t].Store(stateStepBase + int32(len(pr.sched.Steps)))
+	pr.tel.Flight(pr.me, telemetry.FlightTile, telemetry.StepNone, t, pr.root, "gather")
 	if pr.root < 0 || st.Len() == 0 {
 		return nil
 	}
@@ -553,6 +572,7 @@ func (pr *pipeRun) deliverTile(w *pipeWorker, t int, st *fragstore.Store, handed
 	case <-pr.credits:
 	default:
 		pr.tel.Add(pr.me, telemetry.CtrCreditWaits, 1)
+		pr.tel.Flight(pr.me, telemetry.FlightCreditWait, telemetry.StepNone, t, pr.root, "")
 		select {
 		case <-pr.credits:
 		case <-pr.cancel:
@@ -560,7 +580,8 @@ func (pr *pipeRun) deliverTile(w *pipeWorker, t int, st *fragstore.Store, handed
 		}
 	}
 	endG := pr.tel.Span(pr.me, telemetry.PhaseGather, telemetry.CatNetwork, t)
-	err := pr.c.Send(pr.root, tileGatherTag(pr.epoch, t), buf)
+	err := comm.SendCtx(pr.c, pr.root, tileGatherTag(pr.epoch, t), buf,
+		traceid.Context{Step: -1, Tile: t, Epoch: pr.epoch})
 	endG()
 	if err != nil {
 		if pr.recov != nil {
@@ -628,7 +649,8 @@ func (pr *pipeRun) assembler() {
 				gw := pr.opts.Pipeline.gatherWindow(pr.expectedFrom[m.from])
 				if seq+gw < pr.expectedFrom[m.from] {
 					pr.tel.Add(pr.me, telemetry.CtrCreditsGranted, 1)
-					if err := pr.c.Send(m.from, creditTag(pr.epoch, seq), creditFrame); err != nil {
+					if err := comm.SendCtx(pr.c, m.from, creditTag(pr.epoch, seq), creditFrame,
+						traceid.Context{Step: -1, Tile: t, Epoch: pr.epoch}); err != nil {
 						if pr.recov != nil && comm.IsRecoverable(err) {
 							pr.abortAttempt(suspectsOf(err, m.from), true)
 							return
@@ -650,6 +672,7 @@ func (pr *pipeRun) assembler() {
 					fired[t] = true
 					nfired++
 					pr.tel.Add(pr.me, telemetry.CtrPartialTiles, 1)
+					pr.tel.Observe(pr.me, telemetry.HistPartialLatency, time.Since(pr.t0))
 					if pr.opts.Pipeline.OnPartial != nil {
 						pr.opts.Pipeline.OnPartial(PartialFrame{
 							Tile:  t,
@@ -807,7 +830,8 @@ func (pr *pipeRun) onDeadline(err error, gatherMissing map[int]bool) bool {
 		pr.dropPending(func(comm.MsgKey) bool { return true }, gatherMissing)
 		return false // expect is empty now; the loop exits on its own
 	default:
-		pr.fail(fmt.Errorf("compositor: pipeline stalled: %w\n%s", err, pr.stateDump()))
+		pr.tel.Flight(pr.me, telemetry.FlightStall, telemetry.StepNone, -1, -1, "pipeline stalled")
+		pr.fail(fmt.Errorf("compositor: pipeline stalled: %w\n%s", err, pr.stallDump()))
 		return true
 	}
 }
@@ -828,9 +852,21 @@ func (pr *pipeRun) onPeerError(err error, gatherMissing map[int]bool) bool {
 		pr.dropPending(func(k comm.MsgKey) bool { return k.From == perr.Rank }, gatherMissing)
 		return false
 	default:
-		pr.fail(fmt.Errorf("compositor: pipeline: %w\n%s", err, pr.stateDump()))
+		pr.tel.Flight(pr.me, telemetry.FlightStall, telemetry.StepNone, -1, -1, "peer failed")
+		pr.fail(fmt.Errorf("compositor: pipeline: %w\n%s", err, pr.stallDump()))
 		return true
 	}
+}
+
+// stallDump is the post-mortem a FailFast stall fails with: the per-tile
+// state dump plus the flight recorder's recent event history, so the error
+// itself carries what each tile was doing when the run wedged.
+func (pr *pipeRun) stallDump() string {
+	dump := pr.stateDump()
+	if fd := pr.tel.FlightDump(); fd != "" {
+		dump += "\n" + fd
+	}
+	return dump
 }
 
 // dropPending declares every matching expected message lost, under the

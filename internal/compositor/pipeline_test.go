@@ -259,6 +259,67 @@ func TestPipelinedStallDetectorDumpsState(t *testing.T) {
 	}
 }
 
+// TestPipelinedStallDumpsFlightRecorder: a fail-fast stall with telemetry
+// attached must embed the flight recorder's event history in the error —
+// the crash post-mortem — including the stalled tiles' own state
+// transitions, so the investigator sees not just where each tile is stuck
+// but how it got there.
+func TestPipelinedStallDumpsFlightRecorder(t *testing.T) {
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	layers := makeLayers(rng, 4, 32, 32, true)
+	p := sched.P
+	rec := telemetry.New()
+	errs := make([]error, p)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		inproc.Run(p, func(c comm.Comm) error {
+			ep := faulty.Wrap(c, faulty.Plan{Seed: 1, Drop: 1})
+			opts := pipeOptions(codec.TRLE{})
+			opts.RecvTimeout = 200 * time.Millisecond
+			opts.OnMissing = FailFast
+			opts.Telemetry = rec
+			_, _, err := Run(ep, sched, layers[c.Rank()], opts)
+			errs[c.Rank()] = err
+			return nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stalled pipeline HUNG instead of failing within its deadline")
+	}
+	dumped := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "flight recorder:") {
+			continue
+		}
+		dumped = true
+		// The stalled tile's full history: it was claimed, entered steps,
+		// and the stall itself is the final recorded event.
+		for _, want := range []string{"tile", "claimed", "pipeline stalled"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("flight dump missing %q:\n%s", want, msg)
+			}
+		}
+	}
+	if !dumped {
+		t.Fatalf("no rank failed with a flight-recorder dump; errors: %v", errs)
+	}
+	// The recorder itself retains the events for out-of-band dumps too.
+	if len(rec.FlightEvents()) == 0 {
+		t.Fatal("recorder holds no flight events after a stall")
+	}
+}
+
 // TestPipelinedComposePartialDegrades: total loss under compose-partial
 // must terminate with a flagged, accounted result instead of an error.
 func TestPipelinedComposePartialDegrades(t *testing.T) {
@@ -549,5 +610,92 @@ func TestInterleaverDeterministicPermutation(t *testing.T) {
 	}
 	if len(distinct) < 2 {
 		t.Error("five seeds produced a single permutation; the interleaver is not permuting")
+	}
+}
+
+// TestPipelinedCountersGatherToRootTable: the cross-rank observability
+// contract. After a pipelined run, every rank ships its summary — pipeline
+// counters and latency histograms included — to rank 0 over the fabric, and
+// the rank-0 StepTable must account for ALL ranks: total tiles_done equals
+// p x tiles (each rank claims every tile), the in-flight peak is reported
+// with busiest-rank (max) semantics, and the merged tile-latency quantiles
+// appear as footnotes.
+func TestPipelinedCountersGatherToRootTable(t *testing.T) {
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	p := sched.P
+	layers := makeLayers(rng, p, 37, 11, true)
+	rec := telemetry.New()
+	opts := pipeOptions(codec.TRLE{})
+	opts.Telemetry = rec
+
+	var mu sync.Mutex
+	var rootSummaries []telemetry.Summary
+	done := make(chan error, 1)
+	go func() {
+		done <- inproc.RunTel(p, rec, func(c comm.Comm) error {
+			if _, _, err := Run(c, sched, layers[c.Rank()], opts); err != nil {
+				return fmt.Errorf("rank %d: %w", c.Rank(), err)
+			}
+			var seq comm.Sequencer
+			sums, err := telemetry.GatherSummaries(c, &seq, 0, rec.Summary(c.Rank()), 5*time.Second)
+			if err != nil {
+				return fmt.Errorf("rank %d gather: %w", c.Rank(), err)
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				rootSummaries = sums
+				mu.Unlock()
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipelined gather run HUNG")
+	}
+	if len(rootSummaries) != p {
+		t.Fatalf("rank 0 gathered %d summaries, want %d", len(rootSummaries), p)
+	}
+
+	// Every rank — not just rank 0 — must have shipped its pipeline counters.
+	ctr := func(s telemetry.Summary, name string) (int64, bool) {
+		for _, c := range s.Counters {
+			if c.Name == name && c.Step == telemetry.StepNone {
+				return c.Value, true
+			}
+		}
+		return 0, false
+	}
+	for r, s := range rootSummaries {
+		v, ok := ctr(s, telemetry.CtrTilesDone)
+		if !ok || v != int64(sched.Tiles) {
+			t.Errorf("rank %d summary: tiles_done=%d ok=%v, want %d", r, v, ok, sched.Tiles)
+		}
+		if v, ok := ctr(s, telemetry.CtrPipeInflightMax); !ok || v < 1 {
+			t.Errorf("rank %d summary: pipe_inflight_max=%d ok=%v, want >= 1", r, v, ok)
+		}
+		if len(s.Hists) == 0 {
+			t.Errorf("rank %d summary shipped no histogram snapshots", r)
+		}
+	}
+
+	table := telemetry.StepTable(rootSummaries).String()
+	wantTiles := fmt.Sprintf("%s: %d", telemetry.CtrTilesDone, p*sched.Tiles)
+	if !strings.Contains(table, wantTiles) {
+		t.Errorf("rank-0 table missing summed %q:\n%s", wantTiles, table)
+	}
+	if !strings.Contains(table, telemetry.CtrPipeInflightMax+" (busiest rank):") {
+		t.Errorf("rank-0 table missing max-semantics in-flight note:\n%s", table)
+	}
+	if !strings.Contains(table, telemetry.HistTileLatency+": p50=") {
+		t.Errorf("rank-0 table missing merged tile-latency quantiles:\n%s", table)
 	}
 }

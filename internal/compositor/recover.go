@@ -199,6 +199,7 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 
 		// Retry path: enter the next epoch in lockstep with the survivors.
 		rx.mem.Advance(newDead)
+		rx.tel.Flight(rx.me, telemetry.FlightEpoch, telemetry.StepNone, -1, -1, "epoch advanced")
 		rx.noticeSent = false
 		aborted = false
 		_, recoverable := schedule.RepairOwners(sched.P, rx.mem.Dead())

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -10,25 +11,42 @@ import (
 
 // Mux returns the live debug surface for a recorder:
 //
-//	/metrics      Prometheus text exposition of counters and span totals
-//	/debug/vars   expvar JSON (including the "rtcomp" telemetry snapshot)
-//	/debug/pprof  the standard Go profiler endpoints
+//	/metrics       Prometheus text exposition of counters, span totals and
+//	               latency histograms (marked no-store — every scrape must
+//	               see live values, never an intermediary's cache)
+//	/debug/vars    expvar JSON (including the "rtcomp" telemetry snapshot)
+//	/debug/flight  the flight recorder's recent structured events
+//	/debug/pprof   the standard Go profiler endpoints, only when withPprof
 //
-// Mount it on its own -debug-addr listener (rtnode) or merge it into an
-// existing serve mux (rtserve).
-func Mux(r *Recorder) *http.ServeMux {
+// Mount it on its own -debug-addr listener (rtnode, where the profiler is
+// wanted and the listener is operator-facing) or merge it into an existing
+// serve mux (rtserve, where the frame listener should not expose CPU
+// profiling to whoever can reach the viewer).
+func Mux(r *Recorder, withPprof bool) *http.ServeMux {
 	PublishExpvar(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		r.WriteMetrics(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		if d := r.FlightDump(); d != "" {
+			fmt.Fprintln(w, d)
+		} else {
+			fmt.Fprintln(w, "flight recorder: no events")
+		}
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

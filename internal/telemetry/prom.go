@@ -88,6 +88,83 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			}
 		}
 	}
+
+	return r.writeHistMetrics(w)
+}
+
+// writeHistMetrics exposes every recorded latency histogram twice: as a
+// Prometheus histogram series (cumulative _bucket/_sum/_count, with only
+// the buckets whose cumulative count changes — le values are the log-linear
+// bucket upper bounds in seconds) and as pre-computed p50/p95/p99 gauges,
+// so dashboards get quantiles without a PromQL histogram_quantile over 300
+// buckets.
+func (r *Recorder) writeHistMetrics(w io.Writer) error {
+	hists := r.Hists()
+	if len(hists) == 0 {
+		return nil
+	}
+	keys := make([]HistKey, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Rank < keys[j].Rank
+	})
+	lastName := ""
+	for _, k := range keys {
+		st := hists[k].Snapshot(k.Name)
+		if st.Count == 0 {
+			continue
+		}
+		metric := "rtcomp_" + sanitizeMetric(k.Name) + "_seconds"
+		if k.Name != lastName {
+			lastName = k.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+				return err
+			}
+		}
+		cum := int64(0)
+		for _, b := range st.Buckets {
+			cum += b.N
+			if _, err := fmt.Fprintf(w, "%s_bucket{rank=\"%d\",le=\"%g\"} %d\n",
+				metric, k.Rank, float64(histUpper(b.Idx))/1e9, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{rank=\"%d\",le=\"+Inf\"} %d\n", metric, k.Rank, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{rank=\"%d\"} %g\n", metric, k.Rank, float64(st.SumNs)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{rank=\"%d\"} %d\n", metric, k.Rank, cum); err != nil {
+			return err
+		}
+	}
+	// Quantile gauges, one series per (name, rank, q).
+	lastName = ""
+	for _, k := range keys {
+		h := hists[k]
+		if h.Count() == 0 {
+			continue
+		}
+		metric := "rtcomp_" + sanitizeMetric(k.Name) + "_quantile_seconds"
+		if k.Name != lastName {
+			lastName = k.Name
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", metric); err != nil {
+				return err
+			}
+		}
+		for _, q := range [...]float64{0.50, 0.95, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{rank=\"%d\",quantile=\"%g\"} %g\n",
+				metric, k.Rank, q, h.Quantile(q).Seconds()); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -3,11 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"strings"
-	"sync"
 	"testing"
-
-	"rtcomp/internal/comm"
-	"rtcomp/internal/transport/inproc"
 )
 
 // sessionCounters is the set the reliable tcpnet session layer records;
@@ -59,49 +55,5 @@ func TestWriteMetricsSessionCountersAlongsideEscapedPhases(t *testing.T) {
 	}
 	if !strings.Contains(out, `phase="resume \"fast\\path\""`) {
 		t.Fatalf("phase label not escaped:\n%s", out)
-	}
-}
-
-func TestGatherSummariesCarrySessionCounters(t *testing.T) {
-	// The teardown gather at rank 0 must carry each rank's session-layer
-	// tallies, attributed to the right rank — the cross-rank view operators
-	// use to spot a flapping link.
-	const p = 3
-	r := New()
-	var mu sync.Mutex
-	var rootGot []Summary
-	err := inproc.Run(p, func(c comm.Comm) error {
-		rank := c.Rank()
-		r.Add(rank, CtrReconnects, int64(rank))
-		r.Add(rank, CtrReplayedFrames, int64(100+rank))
-		var seq comm.Sequencer
-		got, err := GatherSummaries(c, &seq, 0, r.Summary(rank), 0)
-		if err != nil {
-			return err
-		}
-		if rank == 0 {
-			mu.Lock()
-			rootGot = got
-			mu.Unlock()
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rootGot) != p {
-		t.Fatalf("root got %d summaries", len(rootGot))
-	}
-	for rank, s := range rootGot {
-		vals := map[string]int64{}
-		for _, c := range s.Counters {
-			vals[c.Name] = c.Value
-		}
-		if rank > 0 && vals[CtrReconnects] != int64(rank) {
-			t.Errorf("rank %d reconnects = %d", rank, vals[CtrReconnects])
-		}
-		if vals[CtrReplayedFrames] != int64(100+rank) {
-			t.Errorf("rank %d replayed = %d", rank, vals[CtrReplayedFrames])
-		}
 	}
 }

@@ -28,7 +28,7 @@ func StepTable(summaries []Summary) *stats.Table {
 		return a
 	}
 	runDur := map[string]int64{} // whole-run phase -> max nanos across ranks
-	runCtr := map[string]int64{} // run-level counter -> sum across ranks
+	runCtr := map[string]int64{} // run-level counter -> sum (or max) across ranks
 	for _, s := range summaries {
 		for _, ph := range s.Phases {
 			if ph.Step == StepNone {
@@ -43,7 +43,16 @@ func StepTable(summaries []Summary) *stats.Table {
 		}
 		for _, c := range s.Counters {
 			if c.Step == StepNone {
-				runCtr[c.Name] += c.Value
+				if c.Name == CtrPipeInflightMax {
+					// A per-rank peak: summing ranks would report a window
+					// depth no rank ever ran at. The busiest rank is the
+					// meaningful cross-run number.
+					if c.Value > runCtr[c.Name] {
+						runCtr[c.Name] = c.Value
+					}
+				} else {
+					runCtr[c.Name] += c.Value
+				}
 				continue
 			}
 			a := at(c.Step)
@@ -106,10 +115,59 @@ func StepTable(summaries []Summary) *stats.Table {
 	sort.Strings(names)
 	for _, name := range names {
 		if v := runCtr[name]; v != 0 {
-			t.Note("%s: %d", name, v)
+			if name == CtrPipeInflightMax {
+				t.Note("%s (busiest rank): %d", name, v)
+			} else {
+				t.Note("%s: %d", name, v)
+			}
 		}
 	}
+	for _, note := range HistQuantileNotes(summaries) {
+		t.Note("%s", note)
+	}
 	return t
+}
+
+// HistQuantileNotes merges the histogram snapshots shipped inside the
+// summaries bucket-wise across ranks and renders one p50/p95/p99 line per
+// histogram name — the latency-distribution footnotes of the StepTable.
+func HistQuantileNotes(summaries []Summary) []string {
+	type merged struct {
+		dense []int64
+		total int64
+		sumNs int64
+	}
+	byName := map[string]*merged{}
+	for _, s := range summaries {
+		for _, st := range s.Hists {
+			m := byName[st.Name]
+			if m == nil {
+				m = &merged{dense: make([]int64, HistBuckets)}
+				byName[st.Name] = m
+			}
+			m.total += histMerge(m.dense, st)
+			m.sumNs += st.SumNs
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		m := byName[name]
+		if m.total == 0 {
+			continue
+		}
+		p50 := bucketQuantile(m.dense, m.total, 0.50)
+		p95 := bucketQuantile(m.dense, m.total, 0.95)
+		p99 := bucketQuantile(m.dense, m.total, 0.99)
+		out = append(out, fmt.Sprintf("%s: p50=%s p95=%s p99=%s (n=%d, all ranks)",
+			name, stats.Seconds(p50.Seconds()), stats.Seconds(p95.Seconds()),
+			stats.Seconds(p99.Seconds()), m.total))
+	}
+	return out
 }
 
 // SpanTotalSeconds sums the wall-clock duration of every recorded span with

@@ -123,11 +123,19 @@ type Recorder struct {
 	mu       sync.Mutex
 	spans    []Span
 	counters map[CounterKey]int64
+	flows    []Flow
+	hists    map[HistKey]*Histogram
+
+	flight flightRing
 }
 
 // New returns an empty recorder whose span clock starts now.
 func New() *Recorder {
-	return &Recorder{epoch: time.Now(), counters: make(map[CounterKey]int64)}
+	return &Recorder{
+		epoch:    time.Now(),
+		counters: make(map[CounterKey]int64),
+		hists:    make(map[HistKey]*Histogram),
+	}
 }
 
 // Enabled reports whether the recorder records anything.
@@ -156,8 +164,76 @@ func (r *Recorder) Span(rank int, name, cat string, step int) func() {
 		end := time.Since(r.epoch)
 		r.mu.Lock()
 		r.spans = append(r.spans, Span{Rank: rank, Name: name, Cat: cat, Step: step, Start: start, End: end})
+		h := r.histLocked(rank, name)
 		r.mu.Unlock()
+		// Every span feeds the per-(rank, phase) duration histogram, so
+		// /metrics and the gathered StepTable report latency distributions,
+		// not just sums.
+		h.Observe(end - start)
 	}
+}
+
+// Flow is one endpoint of a cross-rank message: the send point on the
+// origin rank or the receive point on the consumer. Matching IDs stitch a
+// causal edge between the two ranks' timelines (Chrome-trace flow events).
+type Flow struct {
+	ID   uint64 // traceid flow identifier, unique per run
+	Rank int    // rank recording this point
+	Peer int    // the other side of the edge
+	T    time.Duration
+	Send bool // true at the send point, false at the receive point
+	Step int  // 0-based composition step, or StepNone
+	Tile int  // tile index, or -1
+}
+
+// FlowSend records the send point of a message flow (and its flight-ring
+// echo). Called by the fabrics at the hand-off into the wire or mailbox.
+func (r *Recorder) FlowSend(rank, peer int, id uint64, step, tile int) {
+	r.flowPoint(rank, peer, id, step, tile, true)
+}
+
+// FlowRecv records the receive point of a message flow: called at the comm
+// Recv boundary, so the flow lands inside the application's receive span
+// and deduplicated frames never produce a phantom edge.
+func (r *Recorder) FlowRecv(rank, peer int, id uint64, step, tile int) {
+	r.flowPoint(rank, peer, id, step, tile, false)
+}
+
+func (r *Recorder) flowPoint(rank, peer int, id uint64, step, tile int, send bool) {
+	if r == nil {
+		return
+	}
+	t := time.Since(r.epoch)
+	r.mu.Lock()
+	r.flows = append(r.flows, Flow{ID: id, Rank: rank, Peer: peer, T: t, Send: send, Step: step, Tile: tile})
+	r.mu.Unlock()
+	kind := FlightRecv
+	if send {
+		kind = FlightSend
+	}
+	r.Flight(rank, kind, step, tile, peer, "")
+}
+
+// Flows returns a copy of every recorded flow point, ordered by time (ties
+// by ID, send before receive) so output is deterministic.
+func (r *Recorder) Flows() []Flow {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Flow, len(r.flows))
+	copy(out, r.flows)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Send && !out[j].Send
+	})
+	return out
 }
 
 // Add bumps a run-level (step-less) counter.
@@ -231,6 +307,7 @@ type Summary struct {
 	Rank     int           `json:"rank"`
 	Phases   []PhaseStat   `json:"phases"`
 	Counters []CounterStat `json:"counters"`
+	Hists    []HistStat    `json:"hists,omitempty"`
 }
 
 // Summary digests the given rank's spans and counters. On a shared
@@ -266,7 +343,19 @@ func (r *Recorder) Summary(rank int) Summary {
 		}
 		s.Counters = append(s.Counters, CounterStat{Step: k.Step, Name: k.Name, Value: v})
 	}
+	hists := make(map[string]*Histogram)
+	for k, h := range r.hists {
+		if k.Rank == rank {
+			hists[k.Name] = h
+		}
+	}
 	r.mu.Unlock()
+	for name, h := range hists {
+		if st := h.Snapshot(name); st.Count > 0 {
+			s.Hists = append(s.Hists, st)
+		}
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
 	for _, st := range phases {
 		s.Phases = append(s.Phases, *st)
 	}

@@ -1,0 +1,407 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file merges per-rank Chrome trace files into one causally-stitched
+// timeline. Each rank of a distributed run writes its own trace with its
+// own monotonic clock; the flow events embedded by WriteChromeSpansFlows
+// ("s" at the send, "f" at the receive, shared id) are the only cross-file
+// ordering information available. The merge:
+//
+//  1. parses every input file,
+//  2. estimates one clock offset per file from matched flow edges
+//     (NTP-style: half the difference of the minimum one-way delays when
+//     both directions exist, else the single minimum delay — which pins
+//     the fastest message to zero latency),
+//  3. shifts every event by its file's offset and emits one event array,
+//  4. reports flow-match statistics so a strict mode can fail when a send
+//     has no receive (lost causality) or vice versa,
+//  5. computes the critical path of the run: the chain of spans ending at
+//     the globally latest span, following either same-rank predecessors or
+//     matched cross-rank message edges, with per-phase time attribution.
+
+// Merged is the result of stitching one or more trace files.
+type Merged struct {
+	events []chromeEvent // spans first, then flows; clock-corrected
+
+	// OffsetsUS[i] is the clock correction (µs) added to input i.
+	OffsetsUS []float64
+	// Flow-match statistics across all inputs.
+	Sends, Recvs                   int
+	UnmatchedSends, UnmatchedRecvs int
+}
+
+// MergeFiles reads and stitches per-rank trace files. See MergeReaders.
+func MergeFiles(paths ...string) (*Merged, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	return MergeReaders(readers...)
+}
+
+// MergeReaders parses one Chrome trace-event JSON array per reader, aligns
+// the files' clocks using matched flow edges, and returns the merged
+// timeline. A single input gets offset zero (its ranks already share a
+// recorder and therefore a clock).
+func MergeReaders(rs ...io.Reader) (*Merged, error) {
+	files := make([][]chromeEvent, len(rs))
+	for i, r := range rs {
+		var evs []chromeEvent
+		if err := json.NewDecoder(r).Decode(&evs); err != nil {
+			return nil, fmt.Errorf("trace: input %d: %w", i, err)
+		}
+		files[i] = evs
+	}
+	m := &Merged{OffsetsUS: alignClocks(files)}
+	for i, evs := range files {
+		for _, ev := range evs {
+			ev.TS += m.OffsetsUS[i]
+			m.events = append(m.events, ev)
+		}
+	}
+	// Spans first (sorted by time), flows after, so the merged file keeps
+	// the "head of the array is a complete event" property of the per-rank
+	// exporters.
+	sort.SliceStable(m.events, func(i, j int) bool {
+		si, sj := m.events[i].Ph == "X", m.events[j].Ph == "X"
+		if si != sj {
+			return si
+		}
+		return m.events[i].TS < m.events[j].TS
+	})
+	m.countFlows()
+	return m, nil
+}
+
+// countFlows tallies send/recv flow events and how many lack a partner.
+func (m *Merged) countFlows() {
+	sends := map[string]int{}
+	recvs := map[string]int{}
+	for _, ev := range m.events {
+		switch ev.Ph {
+		case "s":
+			m.Sends++
+			sends[ev.ID]++
+		case "f":
+			m.Recvs++
+			recvs[ev.ID]++
+		}
+	}
+	for id, n := range sends {
+		if recvs[id] == 0 {
+			m.UnmatchedSends += n
+		}
+	}
+	for id, n := range recvs {
+		if sends[id] == 0 {
+			m.UnmatchedRecvs += n
+		}
+	}
+}
+
+// Strict returns an error when any flow edge is half-open: a send whose
+// message never produced a receive event, or a receive whose sender left
+// no record. Runs without message loss must merge strictly clean.
+func (m *Merged) Strict() error {
+	if m.UnmatchedSends == 0 && m.UnmatchedRecvs == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d send flow(s) without a matching recv, %d recv flow(s) without a matching send",
+		m.UnmatchedSends, m.UnmatchedRecvs)
+}
+
+// Events returns the merged, clock-corrected event count (spans + flows).
+func (m *Merged) Events() int { return len(m.events) }
+
+// Write encodes the merged timeline as one Chrome trace-event JSON array.
+func (m *Merged) Write(w io.Writer) error { return writeChromeEvents(w, m.events) }
+
+// alignClocks estimates one offset per file so that matched flow edges are
+// causally plausible after correction. File 0 anchors the timeline; other
+// files are reached breadth-first over the message graph. Files with no
+// flow edge to the anchored component keep offset zero.
+func alignClocks(files [][]chromeEvent) []float64 {
+	off := make([]float64, len(files))
+	if len(files) < 2 {
+		return off
+	}
+	// First occurrence of each flow endpoint: id -> (file, ts).
+	type point struct {
+		file int
+		ts   float64
+	}
+	sends := map[string]point{}
+	recvs := map[string]point{}
+	for i, evs := range files {
+		for _, ev := range evs {
+			switch ev.Ph {
+			case "s":
+				if _, ok := sends[ev.ID]; !ok {
+					sends[ev.ID] = point{i, ev.TS}
+				}
+			case "f":
+				if _, ok := recvs[ev.ID]; !ok {
+					recvs[ev.ID] = point{i, ev.TS}
+				}
+			}
+		}
+	}
+	// Minimum observed one-way delay per ordered file pair.
+	minDelay := map[[2]int]float64{}
+	for id, s := range sends {
+		r, ok := recvs[id]
+		if !ok || r.file == s.file {
+			continue
+		}
+		k := [2]int{s.file, r.file}
+		d := r.ts - s.ts
+		if cur, ok := minDelay[k]; !ok || d < cur {
+			minDelay[k] = d
+		}
+	}
+	// relOffset(a,b) = correction to add to b's clock relative to a's.
+	relOffset := func(a, b int) (float64, bool) {
+		dab, okAB := minDelay[[2]int{a, b}]
+		dba, okBA := minDelay[[2]int{b, a}]
+		switch {
+		case okAB && okBA:
+			// Symmetric-delay assumption: after correction the minimum
+			// delays in both directions are equal.
+			return (dba - dab) / 2, true
+		case okAB:
+			return -dab, true // pin the fastest a->b message to zero delay
+		case okBA:
+			return dba, true
+		}
+		return 0, false
+	}
+	visited := make([]bool, len(files))
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for b := range files {
+			if visited[b] {
+				continue
+			}
+			if d, ok := relOffset(a, b); ok {
+				off[b] = off[a] + d
+				visited[b] = true
+				queue = append(queue, b)
+			}
+		}
+	}
+	return off
+}
+
+// PhaseShare is one phase's share of the critical path.
+type PhaseShare struct {
+	Name string
+	US   float64
+	Frac float64 // of the path's wall-clock extent
+}
+
+// CritPath is the chain of spans that bounds the run's wall-clock time.
+type CritPath struct {
+	TotalUS float64 // end of last span minus start of first
+	Spans   int     // spans on the path
+	Ranks   int     // distinct ranks the path visits
+	Hops    int     // cross-rank message edges followed
+	Phases  []PhaseShare
+}
+
+// CriticalPath walks backwards from the globally latest-ending span. At
+// each span the predecessor is the later-ending of (a) the latest span on
+// the same rank that ends at or before this span starts and (b) for every
+// message received inside this span, the sender's span enclosing the send
+// point. Time not covered by any span on the path is attributed to
+// "(wait)". Returns nil when the merge holds no complete events.
+func (m *Merged) CriticalPath() *CritPath {
+	var spans []chromeEvent
+	for _, ev := range m.events {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	// Per-rank span lists sorted by end time, for predecessor lookup.
+	perRank := map[int][]int{}
+	for i, sp := range spans {
+		perRank[sp.PID] = append(perRank[sp.PID], i)
+	}
+	for _, idx := range perRank {
+		sort.Slice(idx, func(a, b int) bool {
+			return spans[idx[a]].TS+spans[idx[a]].Dur < spans[idx[b]].TS+spans[idx[b]].Dur
+		})
+	}
+	// Matched message edges: recv (rank, ts) -> send (rank, ts).
+	type pt struct {
+		pid int
+		ts  float64
+	}
+	sendAt := map[string]pt{}
+	var recvPts []struct {
+		pt
+		send pt
+		ok   bool
+	}
+	for _, ev := range m.events {
+		if ev.Ph == "s" {
+			if _, dup := sendAt[ev.ID]; !dup {
+				sendAt[ev.ID] = pt{ev.PID, ev.TS}
+			}
+		}
+	}
+	for _, ev := range m.events {
+		if ev.Ph == "f" {
+			s, ok := sendAt[ev.ID]
+			recvPts = append(recvPts, struct {
+				pt
+				send pt
+				ok   bool
+			}{pt{ev.PID, ev.TS}, s, ok})
+		}
+	}
+	// enclosing returns the span on rank pid whose extent covers ts,
+	// preferring the latest-starting such span (innermost nesting).
+	enclosing := func(pid int, ts float64) int {
+		best := -1
+		for _, i := range perRank[pid] {
+			sp := spans[i]
+			if sp.TS <= ts && ts <= sp.TS+sp.Dur {
+				if best < 0 || sp.TS >= spans[best].TS {
+					best = i
+				}
+			}
+		}
+		return best
+	}
+	// Start from the globally latest-ending span.
+	cur := 0
+	for i, sp := range spans {
+		if sp.TS+sp.Dur > spans[cur].TS+spans[cur].Dur {
+			cur = i
+		}
+	}
+	const eps = 1e-3 // µs; absorbs float rounding between adjacent spans
+	visited := map[int]bool{}
+	var path []int
+	hops := 0
+	for cur >= 0 && !visited[cur] {
+		visited[cur] = true
+		path = append(path, cur)
+		sp := spans[cur]
+		// Candidate (a): latest same-rank span ending at or before start.
+		next := -1
+		for _, i := range perRank[sp.PID] {
+			c := spans[i]
+			if i != cur && c.TS+c.Dur <= sp.TS+eps {
+				if next < 0 || c.TS+c.Dur > spans[next].TS+spans[next].Dur {
+					next = i
+				}
+			}
+		}
+		crossed := false
+		// Candidate (b): senders of messages received inside this span.
+		for _, r := range recvPts {
+			if !r.ok || r.pid != sp.PID || r.ts < sp.TS-eps || r.ts > sp.TS+sp.Dur+eps {
+				continue
+			}
+			if s := enclosing(r.send.pid, r.send.ts); s >= 0 && s != cur && !visited[s] {
+				if next < 0 || spans[s].TS+spans[s].Dur > spans[next].TS+spans[next].Dur {
+					next = s
+					crossed = spans[s].PID != sp.PID
+				}
+			}
+		}
+		if crossed {
+			hops++
+		}
+		cur = next
+	}
+	// Attribute path time by phase. Spans on the path may overlap their
+	// predecessor (a recv span enclosing the matched send on another rank);
+	// clamp each span's contribution to the uncovered prefix of the
+	// timeline walked so far so shares sum to at most the total.
+	first, last := path[len(path)-1], path[0]
+	total := spans[last].TS + spans[last].Dur - spans[first].TS
+	byPhase := map[string]float64{}
+	ranks := map[int]bool{}
+	covered := 0.0
+	// Walk forward in time (path is backwards).
+	cursor := spans[first].TS
+	for i := len(path) - 1; i >= 0; i-- {
+		sp := spans[path[i]]
+		ranks[sp.PID] = true
+		t0, t1 := sp.TS, sp.TS+sp.Dur
+		if t0 < cursor {
+			t0 = cursor
+		}
+		if t1 > t0 {
+			byPhase[phaseName(sp.Name)] += t1 - t0
+			covered += t1 - t0
+			cursor = t1
+		}
+	}
+	if wait := total - covered; wait > eps {
+		byPhase["(wait)"] = wait
+	}
+	cp := &CritPath{TotalUS: total, Spans: len(path), Ranks: len(ranks), Hops: hops}
+	for name, us := range byPhase {
+		frac := 0.0
+		if total > 0 {
+			frac = us / total
+		}
+		cp.Phases = append(cp.Phases, PhaseShare{Name: name, US: us, Frac: frac})
+	}
+	sort.Slice(cp.Phases, func(a, b int) bool {
+		if cp.Phases[a].US != cp.Phases[b].US {
+			return cp.Phases[a].US > cp.Phases[b].US
+		}
+		return cp.Phases[a].Name < cp.Phases[b].Name
+	})
+	return cp
+}
+
+// phaseName strips the " step N" suffix the exporter appends, so all steps
+// of one phase aggregate under a single name.
+func phaseName(name string) string {
+	if i := strings.Index(name, " step "); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Report renders the critical path as an aligned text table.
+func (cp *CritPath) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %s across %d span(s) on %d rank(s), %d cross-rank hop(s)\n",
+		formatSeconds(cp.TotalUS/1e6), cp.Spans, cp.Ranks, cp.Hops)
+	w := 5
+	for _, ph := range cp.Phases {
+		if len(ph.Name) > w {
+			w = len(ph.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "  %-*s  %10s  %6s\n", w, "phase", "time", "share")
+	for _, ph := range cp.Phases {
+		fmt.Fprintf(&sb, "  %-*s  %10s  %5.1f%%\n", w, ph.Name, formatSeconds(ph.US/1e6), ph.Frac*100)
+	}
+	return sb.String()
+}

@@ -14,7 +14,22 @@ import (
 // per rank, thread 0 = network, thread 1 = compute, complete ("X") events
 // in microseconds. Open the file in chrome://tracing or ui.perfetto.dev.
 func WriteChromeSpans(w io.Writer, spans []telemetry.Span) error {
-	out := make([]chromeEvent, 0, len(spans))
+	return writeChromeEvents(w, appendSpanEvents(nil, spans))
+}
+
+// WriteChromeSpansFlows exports spans plus causal flow edges: each recorded
+// cross-rank message becomes a Chrome flow pair — "s" on the sending rank,
+// "f" with bp:"e" on the receiver — which the viewer draws as an arrow
+// between the enclosing spans. Span events are emitted first and flows
+// after, so consumers that index the head of the array (the smoke checks)
+// keep seeing complete events there.
+func WriteChromeSpansFlows(w io.Writer, spans []telemetry.Span, flows []telemetry.Flow) error {
+	out := appendSpanEvents(make([]chromeEvent, 0, len(spans)+len(flows)), spans)
+	return writeChromeEvents(w, appendFlowEvents(out, flows))
+}
+
+// appendSpanEvents converts telemetry spans to complete ("X") events.
+func appendSpanEvents(out []chromeEvent, spans []telemetry.Span) []chromeEvent {
 	for _, sp := range spans {
 		tid := 1
 		if sp.Cat == telemetry.CatNetwork {
@@ -35,7 +50,39 @@ func WriteChromeSpans(w io.Writer, spans []telemetry.Span) error {
 		}
 		out = append(out, ev)
 	}
-	return writeChromeEvents(w, out)
+	return out
+}
+
+// appendFlowEvents converts telemetry flow points to Chrome flow events.
+// Both endpoints go on thread 0: the send point is recorded inside the
+// sender's network span and the receive point inside the consuming receive
+// span, which is where the viewer binds the arrow.
+func appendFlowEvents(out []chromeEvent, flows []telemetry.Flow) []chromeEvent {
+	for _, f := range flows {
+		ev := chromeEvent{
+			Name: "msg",
+			Cat:  "flow",
+			Ph:   "s",
+			TS:   f.T.Seconds() * 1e6,
+			PID:  f.Rank,
+			TID:  0,
+			ID:   fmt.Sprintf("0x%x", f.ID),
+		}
+		if !f.Send {
+			ev.Ph = "f"
+			ev.BP = "e"
+		}
+		args := map[string]string{"peer": fmt.Sprint(f.Peer)}
+		if f.Step >= 0 {
+			args["step"] = fmt.Sprint(f.Step + 1)
+		}
+		if f.Tile >= 0 {
+			args["tile"] = fmt.Sprint(f.Tile)
+		}
+		ev.Args = args
+		out = append(out, ev)
+	}
+	return out
 }
 
 // SpanEvents converts telemetry spans into simulator occupancy events so

@@ -133,8 +133,11 @@ func Utilisation(events []simnet.Event, p int, horizon float64) float64 {
 	return total / float64(p)
 }
 
-// chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
-// format, loadable in chrome://tracing and Perfetto.
+// chromeEvent is one event of the Chrome trace-event format, loadable in
+// chrome://tracing and Perfetto: complete spans ("ph":"X") and causal flow
+// endpoints ("ph":"s" at the send, "ph":"f" at the receive). ID and BP are
+// set only on flow events and omitted from span serialization, so span
+// output is byte-identical to the pre-flow exporter.
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
@@ -143,6 +146,8 @@ type chromeEvent struct {
 	Dur  float64           `json:"dur"` // microseconds
 	PID  int               `json:"pid"`
 	TID  int               `json:"tid"`
+	ID   string            `json:"id,omitempty"` // flow identifier, shared by the "s"/"f" pair
+	BP   string            `json:"bp,omitempty"` // flow binding point: "e" binds "f" to its enclosing span
 	Args map[string]string `json:"args,omitempty"`
 }
 

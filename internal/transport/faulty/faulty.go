@@ -35,6 +35,7 @@ import (
 	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 )
 
 // Plan describes the fault mix injected at one rank's endpoint. The zero
@@ -102,7 +103,10 @@ type Endpoint struct {
 	stats Stats
 }
 
-var _ comm.Comm = (*Endpoint)(nil)
+var (
+	_ comm.Comm      = (*Endpoint)(nil)
+	_ comm.CtxSender = (*Endpoint)(nil)
+)
 
 // Wrap returns rank's endpoint perturbed by the plan. Every rank of a
 // fabric should be wrapped with the same plan; the per-rank fault streams
@@ -163,6 +167,15 @@ func unframe(buf []byte) (payload []byte, ok bool) {
 // delay and duplication faults, in that order, before handing surviving
 // transmissions to the inner fabric.
 func (e *Endpoint) Send(to, tag int, payload []byte) error {
+	return e.SendCtx(to, tag, payload, traceid.Context{Step: -1, Tile: -1})
+}
+
+// SendCtx implements comm.CtxSender: the caller's trace context rides the
+// first surviving delivery into the inner fabric, so the middleware is
+// transparent to causal tracing. An injected duplicate is a distinct
+// physical delivery and goes through the plain Send path, minting its own
+// flow identity — exactly what a duplicated datagram looks like on a trace.
+func (e *Endpoint) SendCtx(to, tag int, payload []byte, tc traceid.Context) error {
 	e.mu.Lock()
 	if e.dead {
 		e.mu.Unlock()
@@ -228,14 +241,15 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 		time.Sleep(backoff)
 		backoff *= 2
 	}
-	deliver := func() error { return e.inner.Send(to, tag, buf) }
+	deliver := func() error { return comm.SendCtx(e.inner, to, tag, buf, tc) }
+	redeliver := func() error { return e.inner.Send(to, tag, buf) }
 	if delay > 0 {
 		// The AfterFunc closures keep referencing buf after Send returns,
 		// so a delayed frame is left to the garbage collector instead of
 		// the pool — an injected-jitter-only cost.
 		time.AfterFunc(delay, func() { deliver() })
 		if dup {
-			time.AfterFunc(delay+delay/2+1, func() { deliver() })
+			time.AfterFunc(delay+delay/2+1, func() { redeliver() })
 		}
 		return nil
 	}
@@ -244,7 +258,7 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	// can be recycled.
 	err := deliver()
 	if err == nil && dup {
-		err = deliver()
+		err = redeliver()
 	}
 	bufpool.Put(buf)
 	return err

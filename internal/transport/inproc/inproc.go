@@ -7,10 +7,13 @@ package inproc
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 	"rtcomp/internal/transport/mbox"
 )
 
@@ -19,7 +22,15 @@ import (
 type Fabric struct {
 	size  int
 	boxes []*mbox.Mailbox
+	tel   *telemetry.Recorder
+	seq   atomic.Uint32 // trace-context sequence mint, shared across ranks
 }
+
+// SetTelemetry attaches a recorder: every message hand-off records the send
+// side of its causal flow and every consuming Recv the receive side, so a
+// trace of the run carries cross-rank flow edges. Call before any endpoint
+// is used; a nil recorder (the default) costs one pointer test per message.
+func (f *Fabric) SetTelemetry(rec *telemetry.Recorder) { f.tel = rec }
 
 // New creates a fabric with p ranks.
 func New(p int) *Fabric {
@@ -59,15 +70,32 @@ func (e *endpoint) Size() int { return e.fabric.size }
 
 // Send implements comm.Comm.
 func (e *endpoint) Send(to, tag int, payload []byte) error {
+	return e.SendCtx(to, tag, payload, traceid.Context{Step: -1, Tile: -1})
+}
+
+// SendCtx implements comm.CtxSender: the hand-off into the destination
+// mailbox is the flow's send point. A context without a sequence is minted
+// here (origin = this rank); with telemetry disabled no context is carried
+// and the path is identical to the pre-trace Send.
+func (e *endpoint) SendCtx(to, tag int, payload []byte, tc traceid.Context) error {
 	if to < 0 || to >= e.fabric.size {
 		return errors.New("inproc: destination rank out of range")
+	}
+	if tel := e.fabric.tel; tel != nil {
+		if !tc.Valid() {
+			tc.Origin = e.rank
+			tc.Seq = e.fabric.seq.Add(1)
+		}
+		tel.FlowSend(e.rank, to, tc.ID(), tc.Step, tc.Tile)
+	} else {
+		tc = traceid.Context{}
 	}
 	// Copy so the sender may reuse its buffer, as with a real network. The
 	// copy is pooled: ownership passes to the mailbox and on to the
 	// receiver, who may return it to the pool after use.
 	buf := bufpool.Get(len(payload))
 	copy(buf, payload)
-	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf}); err != nil {
+	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf, Trace: tc}); err != nil {
 		bufpool.Put(buf)
 		if errors.Is(err, mbox.ErrClosed) {
 			// The destination rank has shut down its endpoint: that is a
@@ -93,18 +121,28 @@ func (e *endpoint) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, er
 	if from < 0 || from >= e.fabric.size {
 		return nil, errors.New("inproc: source rank out of range")
 	}
-	payload, err := e.fabric.boxes[e.rank].GetUntil(from, tag, deadlineFor(timeout))
+	msg, err := e.fabric.boxes[e.rank].GetMsgUntil(from, tag, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: []comm.MsgKey{{From: from, Tag: tag}}, Timeout: timeout}
 		}
 		return nil, err
 	}
+	e.noteRecv(msg)
+	return msg.Payload, nil
+}
+
+// noteRecv bumps the receive counters and records the receive side of the
+// message's causal flow — at the comm boundary, so the flow point lands
+// inside the application's receive span.
+func (e *endpoint) noteRecv(msg mbox.Message) {
 	e.mu.Lock()
 	e.counters.MsgsRecv++
-	e.counters.BytesRecv += int64(len(payload))
+	e.counters.BytesRecv += int64(len(msg.Payload))
 	e.mu.Unlock()
-	return payload, nil
+	if tel := e.fabric.tel; tel != nil && msg.Trace.Valid() {
+		tel.FlowRecv(e.rank, msg.From, msg.Trace.ID(), msg.Trace.Step, msg.Trace.Tile)
+	}
 }
 
 // RecvAny implements comm.Comm.
@@ -128,10 +166,7 @@ func (e *endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (in
 		}
 		return 0, 0, nil, err
 	}
-	e.mu.Lock()
-	e.counters.MsgsRecv++
-	e.counters.BytesRecv += int64(len(msg.Payload))
-	e.mu.Unlock()
+	e.noteRecv(msg)
 	return msg.From, msg.Tag, msg.Payload, nil
 }
 
@@ -161,7 +196,14 @@ func (e *endpoint) Close() error {
 // them, returning the combined error. It is the standard way to execute a
 // parallel section on the in-process fabric.
 func Run(p int, fn func(c comm.Comm) error) error {
+	return RunTel(p, nil, fn)
+}
+
+// RunTel is Run with a telemetry recorder attached to the fabric, so every
+// cross-rank message of the parallel section records its causal flow.
+func RunTel(p int, rec *telemetry.Recorder, fn func(c comm.Comm) error) error {
 	f := New(p)
+	f.SetTelemetry(rec)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {

@@ -10,15 +10,20 @@ import (
 	"time"
 
 	"rtcomp/internal/comm"
+	"rtcomp/internal/traceid"
 )
 
 // Message is one stored message. The mailbox stores the Payload slice as
 // given — it never copies — and forgets it entirely once a Get retrieves
 // it, so payload buffer ownership transfers Put → mailbox → Get caller and
-// the caller may recycle the buffer after use.
+// the caller may recycle the buffer after use. Trace carries the message's
+// causal trace context (zero when the sender attached none); it travels
+// with the message so the consuming rank can record the receive side of
+// the flow.
 type Message struct {
 	From, Tag int
 	Payload   []byte
+	Trace     traceid.Context
 }
 
 // Mailbox stores messages until a matching Get retrieves them. The zero
@@ -100,6 +105,14 @@ func (m *Mailbox) Get(from, tag int) ([]byte, error) {
 // GetUntil is Get with a deadline: once the deadline passes without a match
 // it returns ErrTimeout. A zero deadline waits forever.
 func (m *Mailbox) GetUntil(from, tag int, deadline time.Time) ([]byte, error) {
+	msg, err := m.GetMsgUntil(from, tag, deadline)
+	return msg.Payload, err
+}
+
+// GetMsgUntil is GetUntil returning the whole Message, so callers that need
+// the trace context (the fabrics' flow recording) get it without a second
+// lookup.
+func (m *Mailbox) GetMsgUntil(from, tag int, deadline time.Time) (Message, error) {
 	stop := m.wakeAt(deadline)
 	defer stop()
 	m.mu.Lock()
@@ -108,17 +121,17 @@ func (m *Mailbox) GetUntil(from, tag int, deadline time.Time) ([]byte, error) {
 		for i, p := range m.pending {
 			if p.From == from && p.Tag == tag {
 				m.remove(i)
-				return p.Payload, nil
+				return p, nil
 			}
 		}
 		if m.closed {
-			return nil, m.failure()
+			return Message{}, m.failure()
 		}
 		if err := m.srcErr[from]; err != nil {
-			return nil, err
+			return Message{}, err
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, ErrTimeout
+			return Message{}, ErrTimeout
 		}
 		m.cond.Wait()
 	}

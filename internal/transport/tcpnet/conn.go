@@ -65,7 +65,11 @@ func (e *Endpoint) readLoop(s *session, c net.Conn, epoch uint32) {
 		s.processAck(fi.ack)
 		switch fi.typ {
 		case ftData:
-			accepted, err := e.box.PutSeq(mbox.Message{From: s.peer, Tag: int(fi.tag), Payload: payload}, fi.seq)
+			// The trace context rides into the mailbox with the message; the
+			// receive side of the flow is recorded at the comm boundary when
+			// a Recv consumes it, so duplicate-dropped replays (below) never
+			// produce a phantom flow edge.
+			accepted, err := e.box.PutSeq(mbox.Message{From: s.peer, Tag: int(fi.tag), Payload: payload, Trace: fi.tc}, fi.seq)
 			if err != nil {
 				bufpool.Put(payload)
 				return // mailbox closed: endpoint teardown

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+
+	"rtcomp/internal/traceid"
 )
 
-// Wire format v3 — the reliable-session framing.
+// Wire format v4 — the reliable-session framing with causal trace context.
 //
-// Every frame opens with a fixed 37-byte header:
+// Every frame opens with a fixed 53-byte header:
 //
 //	offset  size  field
 //	0       1     type   (ftData, ftAck, ftHeartbeat, ftBye)
@@ -17,16 +19,21 @@ import (
 //	13      8     ack    (cumulative: highest data seq received from the peer)
 //	21      8     tag    (two's complement int64; data frames only)
 //	29      4     len    (payload length; 0 on non-data frames)
-//	33      4     crc    (CRC-32C over header[0:33] + payload)
+//	33      16    trace  (traceid.Context; all-zero flags when untraced)
+//	49      4     crc    (CRC-32C over header[0:49] + payload)
 //
 // Data frames carry the tag-matched payload the compositor exchanges; every
 // frame — data or not — piggybacks the cumulative ack, and standalone ack,
 // heartbeat and bye frames are header-only. Sequence numbers start at 1 and
 // increase by one per data frame, so the receiver's dedup window is a single
 // high-water mark and the sender's replay ring prunes on a cumulative ack.
+// The trace context links the frame to the send span that produced it — it
+// survives replay, so a retransmitted frame carries its original identity —
+// and is covered by the checksum like every other header field.
 const (
-	frameHeader = 37
-	crcOffset   = 33
+	traceOffset = 33
+	crcOffset   = traceOffset + traceid.WireSize
+	frameHeader = crcOffset + 4
 )
 
 // Frame types.
@@ -54,6 +61,7 @@ type frameInfo struct {
 	ack       uint64
 	tag       int64
 	n         uint32
+	tc        traceid.Context
 	wantCRC   uint32
 	headerCRC uint32
 }
@@ -73,6 +81,11 @@ func parseFrameHeader(hdr []byte) (frameInfo, error) {
 	fi.ack = binary.BigEndian.Uint64(hdr[13:21])
 	fi.tag = int64(binary.BigEndian.Uint64(hdr[21:29]))
 	fi.n = binary.BigEndian.Uint32(hdr[29:33])
+	tc, err := traceid.Decode(hdr[traceOffset:crcOffset])
+	if err != nil {
+		return fi, fmt.Errorf("tcpnet: frame trace context: %w", err)
+	}
+	fi.tc = tc
 	fi.wantCRC = binary.BigEndian.Uint32(hdr[crcOffset:])
 	fi.headerCRC = crc32.Checksum(hdr[:crcOffset], crcTable)
 	switch fi.typ {
@@ -93,15 +106,24 @@ func parseFrameHeader(hdr []byte) (frameInfo, error) {
 	return fi, nil
 }
 
-// encodeFrameHeader writes the v3 header for one frame into hdr, including
-// the checksum over header prefix and payload.
+// encodeFrameHeader writes the v4 header for one frame into hdr with an
+// empty trace context — the form every control frame and untraced data
+// frame uses.
 func encodeFrameHeader(hdr []byte, typ byte, epoch uint32, seq, ack uint64, tag int64, payload []byte) {
+	encodeFrameHeaderCtx(hdr, typ, epoch, seq, ack, tag, payload, traceid.Context{})
+}
+
+// encodeFrameHeaderCtx writes the v4 header for one frame into hdr,
+// embedding the trace context and the checksum over header prefix and
+// payload.
+func encodeFrameHeaderCtx(hdr []byte, typ byte, epoch uint32, seq, ack uint64, tag int64, payload []byte, tc traceid.Context) {
 	hdr[0] = typ
 	binary.BigEndian.PutUint32(hdr[1:5], epoch)
 	binary.BigEndian.PutUint64(hdr[5:13], seq)
 	binary.BigEndian.PutUint64(hdr[13:21], ack)
 	binary.BigEndian.PutUint64(hdr[21:29], uint64(tag))
-	binary.BigEndian.PutUint32(hdr[29:crcOffset], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[29:traceOffset], uint32(len(payload)))
+	tc.Encode(hdr[traceOffset:crcOffset])
 	crc := crc32.Update(crc32.Checksum(hdr[:crcOffset], crcTable), crcTable, payload)
 	binary.BigEndian.PutUint32(hdr[crcOffset:], crc)
 }
@@ -126,7 +148,7 @@ const (
 // handshakeMagic opens every hello and reply; a connection that does not
 // present it (a port scanner, a stale peer from another protocol version)
 // is rejected with a clear error instead of being mistaken for a rank.
-var handshakeMagic = [4]byte{'R', 'T', 'C', '3'}
+var handshakeMagic = [4]byte{'R', 'T', 'C', '4'}
 
 // encodeHello builds the dialer's resume hello.
 func encodeHello(rank int, epoch uint32, recvSeq uint64) [helloLen]byte {

@@ -9,6 +9,7 @@ import (
 	"rtcomp/internal/bufpool"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 )
 
 // sessState is a session's lifecycle position. A session starts connecting
@@ -28,11 +29,16 @@ const (
 
 // unacked is one data frame pinned in the replay ring until the peer's
 // cumulative ack covers it. The payload is a pooled copy owned by the
-// session (returned to bufpool on ack, failure or close).
+// session (returned to bufpool on ack, failure or close). The trace
+// context travels with the entry so a replayed frame carries its original
+// causal identity; sent timestamps the first transmission attempt and
+// feeds the session RTT histogram when the ack lands.
 type unacked struct {
 	seq     uint64
 	tag     int64
 	payload []byte
+	tc      traceid.Context
+	sent    time.Time
 }
 
 // session is the reliable delivery layer for one peer: it numbers outgoing
@@ -66,6 +72,8 @@ type session struct {
 
 	hdr [frameHeader]byte // frame-header scratch, guarded by mu
 	vec [2][]byte         // net.Buffers backing for vectored writes
+
+	rtt *telemetry.Histogram // data-frame send -> cumulative ack; nil without telemetry
 }
 
 func newSession(e *Endpoint, peer int) *session {
@@ -75,6 +83,7 @@ func newSession(e *Endpoint, peer int) *session {
 		dialer: peer < e.rank,
 		cfg:    e.scfg,
 		state:  stConnecting,
+		rtt:    e.tel.Hist(e.rank, telemetry.HistSessionRTT),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if s.cfg.HeartbeatsEnabled() {
@@ -89,7 +98,7 @@ func newSession(e *Endpoint, peer int) *session {
 // ring — the resume replay delivers it — so a transient break never
 // surfaces to the caller. Only a failed or closed session returns an
 // error.
-func (s *session) send(tag int, payload []byte) error {
+func (s *session) send(tag int, payload []byte, tc traceid.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.state != stFailed && s.state != stClosed && len(s.ring) >= s.cfg.WindowFrames {
@@ -104,11 +113,11 @@ func (s *session) send(tag int, payload []byte) error {
 	s.nextSeq++
 	buf := bufpool.Get(len(payload))
 	copy(buf, payload)
-	s.ring = append(s.ring, unacked{seq: s.nextSeq, tag: int64(tag), payload: buf})
+	s.ring = append(s.ring, unacked{seq: s.nextSeq, tag: int64(tag), payload: buf, tc: tc, sent: time.Now()})
 	if s.state == stActive {
 		// A write failure resets the connection and leaves the frame ringed
 		// for replay; the caller still sees success.
-		s.writeFrameLocked(ftData, s.nextSeq, int64(tag), buf)
+		s.writeFrameLocked(ftData, s.nextSeq, int64(tag), buf, tc)
 	}
 	return nil
 }
@@ -118,9 +127,9 @@ func (s *session) send(tag int, payload []byte) error {
 // cumulative ack. Any error (including a short write, which leaves an
 // unrecoverable torn frame on the stream) resets the connection; the
 // session never keeps writing to a stream in an unknown state.
-func (s *session) writeFrameLocked(typ byte, seq uint64, tag int64, payload []byte) error {
+func (s *session) writeFrameLocked(typ byte, seq uint64, tag int64, payload []byte, tc traceid.Context) error {
 	c := s.conn
-	encodeFrameHeader(s.hdr[:], typ, s.epoch, seq, s.recvSeq, tag, payload)
+	encodeFrameHeaderCtx(s.hdr[:], typ, s.epoch, seq, s.recvSeq, tag, payload, tc)
 	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	var err error
 	if len(payload) == 0 {
@@ -149,6 +158,9 @@ func (s *session) ackLocked(ack uint64) {
 	s.acked = ack
 	n := 0
 	for n < len(s.ring) && s.ring[n].seq <= ack {
+		if s.rtt != nil && !s.ring[n].sent.IsZero() {
+			s.rtt.Observe(time.Since(s.ring[n].sent))
+		}
 		bufpool.Put(s.ring[n].payload)
 		n++
 	}
@@ -186,7 +198,7 @@ func (s *session) noteRecvAndAck(seq uint64) {
 	if s.state != stActive || s.conn == nil {
 		return
 	}
-	if s.writeFrameLocked(ftAck, 0, 0, nil) == nil {
+	if s.writeFrameLocked(ftAck, 0, 0, nil, traceid.Context{}) == nil {
 		s.e.tel.Add(s.e.rank, telemetry.CtrAcksSent, 1)
 	}
 }
@@ -369,11 +381,12 @@ func (s *session) adoptLocked(c net.Conn, epoch uint32, peerRecvSeq uint64) bool
 	s.ackLocked(peerRecvSeq) // the peer already holds these frames
 	if resumed {
 		s.e.tel.Add(s.e.rank, telemetry.CtrReconnects, 1)
+		s.e.tel.Flight(s.e.rank, telemetry.FlightReconnect, telemetry.StepNone, -1, s.peer, "session resumed")
 	}
 	replayed := 0
 	for i := 0; i < len(s.ring) && s.state == stActive; i++ {
 		u := s.ring[i]
-		if s.writeFrameLocked(ftData, u.seq, u.tag, u.payload) != nil {
+		if s.writeFrameLocked(ftData, u.seq, u.tag, u.payload, u.tc) != nil {
 			break // the write reset the session; the next resume replays
 		}
 		replayed++
@@ -407,6 +420,7 @@ func (s *session) failLocked(cause error, abnormal bool) {
 	s.cond.Broadcast()
 	if abnormal && !s.e.isClosed() {
 		s.e.tel.Add(s.e.rank, telemetry.CtrPeerFailures, 1)
+		s.e.tel.Flight(s.e.rank, telemetry.FlightSessionDown, telemetry.StepNone, -1, s.peer, "session failed")
 	}
 	s.e.box.Fail(s.peer, &comm.PeerError{Rank: s.peer, Err: cause})
 }
@@ -435,7 +449,7 @@ func (s *session) heartbeatLoop() {
 			return
 		}
 		if s.state == stActive && time.Since(s.lastWrite) >= s.cfg.HeartbeatInterval {
-			if s.writeFrameLocked(ftHeartbeat, 0, 0, nil) == nil {
+			if s.writeFrameLocked(ftHeartbeat, 0, 0, nil, traceid.Context{}) == nil {
 				s.e.tel.Add(s.e.rank, telemetry.CtrHeartbeats, 1)
 			}
 		}

@@ -28,10 +28,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtcomp/internal/comm"
 	"rtcomp/internal/telemetry"
+	"rtcomp/internal/traceid"
 	"rtcomp/internal/transport/mbox"
 )
 
@@ -85,6 +87,7 @@ type Endpoint struct {
 	sessions []*session // index = peer rank; nil at own rank
 	ln       net.Listener
 	tel      *telemetry.Recorder
+	seq      atomic.Uint32 // trace-context sequence mint for this rank's sends
 
 	addrs       []string
 	dialBackoff time.Duration
@@ -241,6 +244,15 @@ func (e *Endpoint) Size() int { return e.size }
 // window is full and only fails once the peer's session has terminally
 // failed (a PeerError) or the endpoint is closed.
 func (e *Endpoint) Send(to, tag int, payload []byte) error {
+	return e.SendCtx(to, tag, payload, traceid.Context{Step: -1, Tile: -1})
+}
+
+// SendCtx implements comm.CtxSender: the frame carries the trace context on
+// the wire, so the receiving rank can stitch the cross-process flow. A
+// context without a sequence is minted here (origin = this rank); with
+// telemetry disabled no context is carried and the frame is identical to a
+// pre-trace send apart from the reserved header field.
+func (e *Endpoint) SendCtx(to, tag int, payload []byte, tc traceid.Context) error {
 	if to < 0 || to >= e.size || to == e.rank {
 		return fmt.Errorf("tcpnet: invalid destination rank %d", to)
 	}
@@ -251,7 +263,16 @@ func (e *Endpoint) Send(to, tag int, payload []byte) error {
 	if s == nil {
 		return fmt.Errorf("tcpnet: no session with rank %d", to)
 	}
-	if err := s.send(tag, payload); err != nil {
+	if e.tel != nil {
+		if !tc.Valid() {
+			tc.Origin = e.rank
+			tc.Seq = e.seq.Add(1)
+		}
+		e.tel.FlowSend(e.rank, to, tc.ID(), tc.Step, tc.Tile)
+	} else {
+		tc = traceid.Context{}
+	}
+	if err := s.send(tag, payload, tc); err != nil {
 		return err
 	}
 	e.mu.Lock()
@@ -271,18 +292,29 @@ func (e *Endpoint) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, er
 	if from < 0 || from >= e.size || from == e.rank {
 		return nil, fmt.Errorf("tcpnet: invalid source rank %d", from)
 	}
-	payload, err := e.box.GetUntil(from, tag, deadlineFor(timeout))
+	msg, err := e.box.GetMsgUntil(from, tag, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: []comm.MsgKey{{From: from, Tag: tag}}, Timeout: timeout}
 		}
 		return nil, err
 	}
+	e.noteRecv(msg)
+	return msg.Payload, nil
+}
+
+// noteRecv bumps the receive counters and records the receive side of the
+// message's causal flow — at the comm boundary, so the flow point lands
+// inside the application's receive span and dedup-dropped replays never
+// record one.
+func (e *Endpoint) noteRecv(msg mbox.Message) {
 	e.mu.Lock()
 	e.counters.MsgsRecv++
-	e.counters.BytesRecv += int64(len(payload))
+	e.counters.BytesRecv += int64(len(msg.Payload))
 	e.mu.Unlock()
-	return payload, nil
+	if e.tel != nil && msg.Trace.Valid() {
+		e.tel.FlowRecv(e.rank, msg.From, msg.Trace.ID(), msg.Trace.Step, msg.Trace.Tile)
+	}
 }
 
 // RecvAny implements comm.Comm.
@@ -306,10 +338,7 @@ func (e *Endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (in
 		}
 		return 0, 0, nil, err
 	}
-	e.mu.Lock()
-	e.counters.MsgsRecv++
-	e.counters.BytesRecv += int64(len(msg.Payload))
-	e.mu.Unlock()
+	e.noteRecv(msg)
 	return msg.From, msg.Tag, msg.Payload, nil
 }
 
