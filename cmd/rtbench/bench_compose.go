@@ -46,6 +46,14 @@ type benchRow struct {
 	PartialP50Ns int64 `json:"partial_p50_ns,omitempty"`
 	PartialP95Ns int64 `json:"partial_p95_ns,omitempty"`
 	PartialP99Ns int64 `json:"partial_p99_ns,omitempty"`
+	// Load-generator rows (Method "load") report what the admission gate
+	// did to a request storm: end-to-end latency of served requests
+	// through admit + composite, the fraction shed, and the offered total.
+	Clients  int     `json:"clients,omitempty"`
+	Offered  int     `json:"offered,omitempty"`
+	LatP50Ns int64   `json:"lat_p50_ns,omitempty"`
+	LatP99Ns int64   `json:"lat_p99_ns,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 func (r benchRow) key() string {

@@ -37,11 +37,20 @@ func main() {
 		benchComposeFlag = flag.Bool("bench-compose", false, "run the composition allocation benchmarks instead of experiments")
 		benchOut         = flag.String("bench-out", "BENCH_compose.json", "output path for -bench-compose results")
 		benchBudget      = flag.String("bench-budget", "", "allocation-budget JSON; with -bench-compose, exit nonzero if allocs/op regresses above it")
+		benchLoadFlag    = flag.Bool("bench-load", false, "run the admission load benchmark instead of experiments")
+		loadOut          = flag.String("load-out", "BENCH_load.json", "output path for -bench-load results")
 	)
 	flag.Parse()
 
 	if *benchComposeFlag {
 		if err := benchCompose(*benchOut, *benchBudget); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchLoadFlag {
+		if err := benchLoad(*loadOut); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -35,6 +35,7 @@ import (
 	"rtcomp/internal/comm"
 	"rtcomp/internal/compositor"
 	"rtcomp/internal/core"
+	"rtcomp/internal/gray"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/shearwarp"
 	"rtcomp/internal/telemetry"
@@ -74,6 +75,9 @@ func main() {
 		pipeWin   = flag.Int("pipeline-window", 0, "tiles in flight per rank with -pipeline (0 = default, negative = unbounded)")
 		ilSeed    = flag.Int64("interleave-seed", 0, "deterministic receive-interleaving seed with -pipeline (0 = arrival order)")
 		progress  = flag.Bool("progressive", false, "with -pipeline, log each intermediate tile as the gather root completes it")
+		adaptive  = flag.Bool("adaptive", false, "per-peer adaptive receive deadlines learned from observed arrival latency")
+		hedge     = flag.Bool("hedge", false, "with -pipeline, speculatively re-request overdue tile transfers from the origin's buddy replica")
+		hedgeTh   = flag.Duration("hedge-threshold", 0, "how overdue a transfer must be before hedging (0 = adaptive estimate or built-in default)")
 	)
 	flag.Parse()
 
@@ -122,6 +126,10 @@ func main() {
 			Pipeline:       *pipeline,
 			PipelineWindow: *pipeWin,
 			InterleaveSeed: *ilSeed,
+
+			AdaptiveDeadline: *adaptive,
+			Hedge:            *hedge,
+			HedgeThreshold:   *hedgeTh,
 		}
 		if *pipeline && *progress {
 			// The callback fires on the gather root only, as each tile of
@@ -151,6 +159,14 @@ func main() {
 		tracePath = rankedPath(*traceOut, *rank)
 	}
 	flushOnSignal(rec, tracePath, func() []telemetry.Summary { return []telemetry.Summary{rec.Summary(*rank)} })
+	// One rank per process here, so the session layer and the compositor can
+	// share one health tracker: frames replayed to a peer after an outage
+	// count toward the same gray-failure score its deadline misses do.
+	var nodeHealth *gray.Health
+	if *adaptive || *hedge {
+		nodeHealth = gray.NewHealth(gray.HealthConfig{}, rec, *rank)
+		sess.OnReplay = func(peer, frames int) { nodeHealth.Retransmit(peer, frames) }
+	}
 	ep, err := tcpnet.Start(tcpnet.Config{
 		Rank:        *rank,
 		Addrs:       list,
@@ -163,7 +179,9 @@ func main() {
 		fatal(err)
 	}
 	defer ep.Close()
-	img, rep, err := core.RenderRank(ep, mkConfig(len(list)))
+	cfg := mkConfig(len(list))
+	cfg.Health = nodeHealth
+	img, rep, err := core.RenderRank(ep, cfg)
 	if err != nil {
 		fatal(err)
 	}

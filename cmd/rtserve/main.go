@@ -22,9 +22,11 @@ import (
 	"net/http"
 	"os/signal"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"rtcomp/internal/admission"
 	"rtcomp/internal/core"
 	"rtcomp/internal/shearwarp"
 	"rtcomp/internal/telemetry"
@@ -35,21 +37,20 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:8080", "listen address")
 		p      = flag.Int("p", 8, "processor (goroutine rank) count per frame")
 		volN   = flag.Int("voln", 96, "phantom resolution")
-		slots  = flag.Int("slots", 2, "concurrent render slots; excess requests get 503 + Retry-After")
-		reqTO  = flag.Duration("request-timeout", 30*time.Second, "per-request render deadline (0 = none)")
+		slots  = flag.Int("slots", 2, "concurrent render slots; excess requests queue or get 503 + Retry-After")
+		queue  = flag.Int("queue", 0, "requests allowed to wait for a slot beyond -slots; 0 sheds immediately when busy")
+		reqTO  = flag.Duration("request-timeout", 30*time.Second, "per-request render deadline (0 = none); clients may tighten per request with ?deadline_ms= or X-Deadline-Ms")
 		pipe   = flag.Bool("pipeline", false, "compose frames with the per-tile pipelined compositor by default (per-request override: ?pipeline=0|1)")
 		pprofF = flag.Bool("pprof", false, "expose /debug/pprof on the frame listener (off by default: whoever can fetch frames should not get CPU profiles)")
 	)
 	flag.Parse()
 
 	srv := &server{p: *p, volN: *volN, rec: telemetry.New(), reqTO: *reqTO, pipeline: *pipe}
-	if *slots > 0 {
-		srv.slots = make(chan struct{}, *slots)
-	}
+	srv.adm = admission.New(admission.Config{Slots: *slots, Queue: *queue}, srv.rec)
 	// An http.Server with explicit limits, not the timeout-less
 	// http.ListenAndServe: a stalled client must not pin a handler forever.
 	hs := telemetry.NewServer(*listen, newMux(srv, *pprofF))
-	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3, %d slot(s)); telemetry at /metrics, /debug/vars, /debug/flight (pprof: %v)", *listen, *p, *volN, *slots, *pprofF)
+	log.Printf("rtserve: listening on http://%s (p=%d, vol %d^3, %d slot(s), queue %d); telemetry at /metrics, /debug/vars, /debug/flight (pprof: %v)", *listen, *p, *volN, *slots, *queue, *pprofF)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, lets in-flight
 	// renders drain (bounded), then exits — no frames cut off mid-PNG.
@@ -85,33 +86,37 @@ func newMux(s *server, withPprof bool) *http.ServeMux {
 
 type server struct {
 	p, volN  int
-	rec      *telemetry.Recorder // accumulates across frames; served at /metrics
-	slots    chan struct{}       // admission semaphore; nil = unlimited
-	reqTO    time.Duration       // per-request render deadline; 0 = none
-	pipeline bool                // default composition mode; ?pipeline= overrides
+	rec      *telemetry.Recorder   // accumulates across frames; served at /metrics
+	adm      *admission.Controller // overload-aware admission; nil = unlimited
+	reqTO    time.Duration         // per-request render deadline; 0 = none
+	pipeline bool                  // default composition mode; ?pipeline= overrides
+	reqSeq   atomic.Uint64         // generated X-Request-ID sequence
 }
 
-// acquire takes a render slot without blocking. A full server answers 503
-// with Retry-After instead of queueing: each render fans out P goroutines,
-// so an unbounded queue turns a burst into a livelock.
-func (s *server) acquire(w http.ResponseWriter) bool {
-	if s.slots == nil {
-		return true
+// requestID echoes the client's X-Request-ID or mints one, so a shed or a
+// slow frame can be correlated between client logs, server logs and the
+// flight recorder. The id is set on the response before any outcome is
+// known — a 503 is exactly the response that most needs tracing.
+func (s *server) requestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" || len(id) > 128 {
+		id = "rts-" + strconv.FormatUint(s.reqSeq.Add(1), 36) + "-" + strconv.FormatInt(time.Now().UnixNano()&0xFFFFFF, 36)
 	}
-	select {
-	case s.slots <- struct{}{}:
-		return true
-	default:
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "all render slots busy", http.StatusServiceUnavailable)
-		return false
-	}
+	w.Header().Set("X-Request-ID", id)
+	return id
 }
 
-func (s *server) release() {
-	if s.slots != nil {
-		<-s.slots
+// shedResponse turns an admission rejection into an honest 503: a jittered
+// Retry-After (whole seconds, rounded up — zero would mean "hammer me
+// again now") and the shed reason in the body.
+func shedResponse(w http.ResponseWriter, shed *admission.ShedError) {
+	secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
 	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	http.Error(w, fmt.Sprintf("render shed: %s (%d queued)", shed.Reason, shed.Queued),
+		http.StatusServiceUnavailable)
 }
 
 // queryFloat parses a float query parameter with a default.
@@ -132,6 +137,7 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 }
 
 func (s *server) render(w http.ResponseWriter, r *http.Request) {
+	s.requestID(w, r)
 	yaw, err := queryFloat(r, "yaw", 0.35)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -173,10 +179,42 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if !s.acquire(w) {
+	// The render deadline is the tighter of the server's own bound and the
+	// deadline the client propagated (?deadline_ms= or X-Deadline-Ms):
+	// admission sheds against it, and the renderer's context honors it.
+	deadline := s.reqTO
+	dlStr := r.URL.Query().Get("deadline_ms")
+	if dlStr == "" {
+		dlStr = r.Header.Get("X-Deadline-Ms")
+	}
+	if dlStr != "" {
+		ms, err := strconv.Atoi(dlStr)
+		if err != nil || ms <= 0 {
+			http.Error(w, "deadline_ms must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		if d := time.Duration(ms) * time.Millisecond; deadline == 0 || d < deadline {
+			deadline = d
+		}
+	}
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	release, err := s.adm.Admit(ctx)
+	if err != nil {
+		var shed *admission.ShedError
+		if errors.As(err, &shed) {
+			shedResponse(w, shed)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	defer s.release()
+	defer release()
 
 	cfg := core.Config{
 		Dataset:    dataset,
@@ -191,24 +229,20 @@ func (s *server) render(w http.ResponseWriter, r *http.Request) {
 		Pipeline:   pipelined,
 		Telemetry:  s.rec,
 	}
-	// The render runs under the request's context plus the server's own
-	// deadline: a client that gives up (or a hung frame) releases the slot
-	// instead of pinning renderer goroutines forever.
-	ctx := r.Context()
-	if s.reqTO > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.reqTO)
-		defer cancel()
-	}
+	t0 := time.Now()
 	rep, err := core.RenderParallelCtx(ctx, cfg)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		// The deadline may surface directly or wrapped in whichever rank
+		// tripped over the cancelled fabric first; either way, an expired
+		// context is the request's own deadline, not a server fault.
+		if errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
 			http.Error(w, "render exceeded the request deadline", http.StatusGatewayTimeout)
 			return
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.adm.ObserveRender(time.Since(t0))
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-Render-Time", rep.RenderTime.String())
 	w.Header().Set("X-Composite-Time", rep.CompositeAll.String())

@@ -1,14 +1,17 @@
 package main
 
 import (
+	"context"
 	"image/png"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"rtcomp/internal/admission"
 	"rtcomp/internal/telemetry"
 )
 
@@ -128,30 +131,116 @@ func TestMuxHardening(t *testing.T) {
 	}
 }
 
-// TestRenderSlotsShedLoad: with every slot taken the handler must answer
-// 503 + Retry-After immediately instead of queueing, and release slots so
-// the next request renders again.
+// TestRenderSlotsShedLoad: with every slot taken and no queue the handler
+// must answer 503 with a jittered Retry-After and an X-Request-ID instead
+// of queueing, and release slots so the next request renders again.
 func TestRenderSlotsShedLoad(t *testing.T) {
-	srv := &server{p: 2, volN: 32, slots: make(chan struct{}, 1)}
-	srv.slots <- struct{}{} // occupy the only slot
+	srv := &server{p: 2, volN: 32}
+	srv.adm = admission.New(admission.Config{Slots: 1, Queue: 0, Seed: 9}, nil)
+	release, err := srv.adm.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rec := httptest.NewRecorder()
 	srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs", nil))
 	if rec.Code != 503 {
 		t.Fatalf("busy server status %d, want 503", rec.Code)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Fatal("503 without a Retry-After header")
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Fatalf("Retry-After %q, want an integer in [1, 3]", rec.Header().Get("Retry-After"))
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("shed response without an X-Request-ID")
 	}
 
-	<-srv.slots // free the slot
+	release()
 	rec = httptest.NewRecorder()
 	srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs", nil))
 	if rec.Code != 200 {
 		t.Fatalf("freed server status %d: %s", rec.Code, rec.Body.String())
 	}
-	if len(srv.slots) != 0 {
-		t.Fatal("render did not release its slot")
+	if active, queued := srv.adm.Depth(); active != 0 || queued != 0 {
+		t.Fatalf("render did not release its slot: active=%d queued=%d", active, queued)
+	}
+}
+
+// TestRequestIDEchoAndMint: a client-supplied X-Request-ID is echoed back
+// verbatim; absent one, the server mints a unique id per request.
+func TestRequestIDEchoAndMint(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+
+	req := httptest.NewRequest("GET", "/render?size=32&method=bs", nil)
+	req.Header.Set("X-Request-ID", "client-abc-123")
+	rec := httptest.NewRecorder()
+	srv.render(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-abc-123" {
+		t.Fatalf("echoed id %q", got)
+	}
+
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs", nil))
+		id := rec.Header().Get("X-Request-ID")
+		if id == "" {
+			t.Fatal("no minted X-Request-ID")
+		}
+		if ids[id] {
+			t.Fatalf("duplicate minted id %q", id)
+		}
+		ids[id] = true
+	}
+}
+
+// TestDeadlinePropagation: a client deadline far too tight to render must
+// time the request out; a malformed one is a 400.
+func TestDeadlinePropagation(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+	rec := httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=2048&method=bs&deadline_ms=1", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("1ms client deadline status %d, want %d", rec.Code, http.StatusGatewayTimeout)
+	}
+
+	req := httptest.NewRequest("GET", "/render?size=2048&method=bs", nil)
+	req.Header.Set("X-Deadline-Ms", "1")
+	rec = httptest.NewRecorder()
+	srv.render(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("1ms header deadline status %d, want %d", rec.Code, http.StatusGatewayTimeout)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=64&method=bs&deadline_ms=banana", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed deadline status %d, want 400", rec.Code)
+	}
+}
+
+// TestDeadlineAwareShedEndToEnd: with the only slot held and the render
+// estimate warmed, a request carrying a hopeless deadline is shed with a
+// 503 rather than queued into certain failure.
+func TestDeadlineAwareShedEndToEnd(t *testing.T) {
+	srv := &server{p: 2, volN: 32}
+	srv.adm = admission.New(admission.Config{Slots: 1, Queue: 8}, nil)
+	for i := 0; i < 4; i++ {
+		srv.adm.ObserveRender(200 * time.Millisecond)
+	}
+	release, err := srv.adm.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	rec := httptest.NewRecorder()
+	srv.render(rec, httptest.NewRequest("GET", "/render?size=32&method=bs&deadline_ms=5", nil))
+	if rec.Code != 503 {
+		t.Fatalf("hopeless-deadline status %d, want 503 shed", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Fatalf("shed body %q does not name the deadline reason", rec.Body.String())
 	}
 }
 

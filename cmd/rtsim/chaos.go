@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"rtcomp/internal/comm"
 	"rtcomp/internal/compose"
 	"rtcomp/internal/compositor"
+	"rtcomp/internal/gray"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/telemetry"
@@ -36,6 +38,17 @@ type chaosConfig struct {
 	dieAfter  int
 	// dieAfter applies to the last rank only, so the run demonstrates the
 	// survivors' behaviour rather than killing everyone.
+
+	// Gray-failure knobs: brownout delays every delivery from one
+	// seeded-random non-root rank (slow, not dead); hedge/adaptive turn on
+	// the compositor's speculative re-requests and learned deadlines. A
+	// brownout run that evicts the slow rank is a failure — the whole
+	// point is masking slowness without declaring death.
+	brownout       time.Duration
+	hedge          bool
+	hedgeThreshold time.Duration
+	adaptive       bool
+
 	recvTimeout   time.Duration
 	onMissing     string
 	maxRecoveries int    // re-execution budget of the recover policy
@@ -76,13 +89,27 @@ func runChaos(cc chaosConfig) error {
 	t0 := time.Now()
 	// RunTel hands the fabric the recorder, so every message carries a
 	// trace context and leaves send/recv flow edges for the trace export.
+	// The browned-out rank is seeded-random but never the gather root: the
+	// root waiting on itself would mask nothing interesting.
+	slow := -1
+	if cc.brownout > 0 && p >= 2 {
+		slow = 1 + rand.New(rand.NewSource(cc.seed)).Intn(p-1)
+	}
 	inproc.RunTel(p, rec, func(inner comm.Comm) error {
 		rankPlan := plan
 		if cc.dieAfter > 0 && inner.Rank() == p-1 {
 			rankPlan.DieAfterSends = cc.dieAfter
 		}
+		if inner.Rank() == slow {
+			rankPlan.Brownout = cc.brownout
+			// The brownout sets in after the rank's first send, so setup
+			// traffic (notably its replica, under -on-missing recover) lands
+			// on time — modelling a mid-run onset rather than a rank that was
+			// slow from birth, and giving the buddy something to hedge from.
+			rankPlan.BrownoutAfterSends = 1
+		}
 		ep := faulty.Wrap(inner, rankPlan)
-		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], compositor.Options{
+		opts := compositor.Options{
 			Codec:         cc.cdc,
 			GatherRoot:    0,
 			RecvTimeout:   cc.recvTimeout,
@@ -92,8 +119,16 @@ func runChaos(cc chaosConfig) error {
 			Pipeline: compositor.PipelineConfig{
 				Enabled:        cc.pipeline,
 				InterleaveSeed: cc.seed,
+				Hedge:          compositor.HedgeConfig{Enabled: cc.hedge, Threshold: cc.hedgeThreshold},
 			},
-		})
+		}
+		if cc.adaptive {
+			opts.Adaptive = gray.NewEstimator(gray.Config{Static: cc.recvTimeout})
+		}
+		if cc.brownout > 0 || cc.adaptive {
+			opts.Health = gray.NewHealth(gray.HealthConfig{}, rec, inner.Rank())
+		}
+		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], opts)
 		mu.Lock()
 		defer mu.Unlock()
 		reports[inner.Rank()] = rep
@@ -141,6 +176,7 @@ func runChaos(cc chaosConfig) error {
 	degraded := false
 	recovered := false
 	epochs := 0
+	evicted := map[int]bool{}
 	for _, rep := range reports {
 		if rep == nil {
 			continue
@@ -155,9 +191,36 @@ func runChaos(cc chaosConfig) error {
 			if rep.RecoveryEpochs > epochs {
 				epochs = rep.RecoveryEpochs
 			}
+			for _, r := range rep.RecoveredRanks {
+				evicted[r] = true
+			}
 			fmt.Printf("chaos: rank %d recovered: %d epoch(s), replicas stood in for rank(s) %v\n",
 				rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
 		}
+	}
+	if slow >= 0 || cc.hedge || cc.adaptive {
+		sum := func(name string) int64 {
+			var n int64
+			for k, v := range rec.Counters() {
+				if k.Name == name {
+					n += v
+				}
+			}
+			return n
+		}
+		// One greppable line for the CI brownout job: the hedging and
+		// grace counters, and how many ranks were actually evicted.
+		fmt.Printf("# gray: slow-rank=%d brownout=%v hedge_requests=%d hedge_wins=%d hedge_served=%d hedge_wasted=%d grace=%d escalations=%d evictions=%d\n",
+			slow, cc.brownout,
+			sum(telemetry.CtrHedgeRequests), sum(telemetry.CtrHedgeWins),
+			sum(telemetry.CtrHedgeServed), sum(telemetry.CtrHedgeWasted),
+			sum(telemetry.CtrDeadlineGrace), sum(telemetry.CtrHealthEscalations),
+			len(evicted))
+	}
+	// A brownout is slow-not-dead: evicting the slow rank (absent a real
+	// victim) means the gray-failure machinery false-positived.
+	if slow >= 0 && victim < 0 && evicted[slow] {
+		return fmt.Errorf("chaos: browned-out rank %d was FALSELY EVICTED (slow, not dead)", slow)
 	}
 	// The real run's telemetry: per-step timing/bytes table aggregated
 	// across ranks, optional span Gantt and Chrome trace export.

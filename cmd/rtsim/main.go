@@ -59,6 +59,10 @@ func main() {
 		corrupt   = flag.Float64("corrupt", 0, "chaos: payload corruption probability")
 		dieAfter  = flag.Int("die-after", 0, "chaos: kill the last rank after this many sends (0 = never)")
 		connReset = flag.Int("conn-reset", 0, "chaos: sever this many live TCP connections at seeded-random steps over a loopback mesh (0 = use the in-process fabric)")
+		brownout  = flag.Duration("brownout", 0, "chaos: gray failure — every delivery from one seeded-random non-root rank is delayed by this much (slow, not dead)")
+		hedgeF    = flag.Bool("hedge", false, "chaos: speculatively re-request overdue tile transfers from the origin's buddy (pipelined compositor only)")
+		hedgeTh   = flag.Duration("hedge-threshold", 0, "chaos: how overdue a transfer must be before hedging (0 = adaptive estimate or built-in default)")
+		adaptive  = flag.Bool("adaptive", false, "chaos: per-peer adaptive receive deadlines learned from observed latency")
 		recvTO    = flag.Duration("recv-timeout", 2*time.Second, "chaos: composition receive deadline")
 		missing   = flag.String("on-missing", "fail", "chaos: missing-data policy (fail, partial or recover)")
 		maxRec    = flag.Int("max-recoveries", 2, "chaos: re-execution budget of -on-missing recover")
@@ -120,6 +124,7 @@ func main() {
 			seed: *chaosSeed, drop: *drop, resend: *resend,
 			delayProb: *delayProb, maxDelay: *maxDelay,
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
+			brownout: *brownout, hedge: *hedgeF, hedgeThreshold: *hedgeTh, adaptive: *adaptive,
 			recvTimeout: *recvTO, onMissing: *missing, maxRecoveries: *maxRec,
 			traceOut: *traceOut, tracePerRank: *tracePR, gantt: *gantt, pipeline: *pipeline,
 		})

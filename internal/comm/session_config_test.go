@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -54,7 +55,8 @@ func TestSessionConfigExplicitValuesKept(t *testing.T) {
 		ReadIdleTimeout:   time.Second,
 		WriteTimeout:      time.Second,
 	}
-	if got := in.Resolved(); got != in {
+	// OnReplay makes the struct non-comparable with ==, so compare deeply.
+	if got := in.Resolved(); !reflect.DeepEqual(got, in) {
 		t.Errorf("Resolved() = %+v, want unchanged %+v", got, in)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/fragstore"
+	"rtcomp/internal/gray"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/telemetry"
@@ -120,8 +121,21 @@ type Options struct {
 	// The configuration must match across all ranks of a run. Under the
 	// Recover policy only the first (epoch-0) attempt is pipelined:
 	// re-executions over repaired schedules run synchronously after the
-	// in-flight window has drained at the recovery barrier.
+	// in-flight window has drained at the recovery budget.
 	Pipeline PipelineConfig
+	// Adaptive, when non-nil, replaces the static RecvTimeout with per-peer
+	// deadlines learned from observed latency (see gray.Estimator): warm
+	// peers get tight deadlines, cold peers fall back to RecvTimeout. It
+	// also derives the hedge trigger when HedgeConfig.Threshold is zero.
+	// The estimator should persist across frames of one run so later frames
+	// benefit from earlier ones.
+	Adaptive *gray.Estimator
+	// Health, when non-nil, accumulates gray-failure signals per peer —
+	// deadline misses, hedges won, session retransmits — and gates the
+	// Recover policy's deadline escalation: a peer that is slow but still
+	// delivering earns grace instead of a recovery epoch, until its score
+	// is sustained past the escalation bar (see gray.Health).
+	Health *gray.Health
 }
 
 // Report summarises one rank's work during a composition.
@@ -256,12 +270,31 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 		}
 		scr.keys = keys[:0:cap(keys)]
 		for len(pending) > 0 {
+			// With an estimator, the receive deadline is the widest adaptive
+			// deadline across the peers still owing data (falling back to
+			// the static RecvTimeout while they are cold).
+			timeout := opts.RecvTimeout
+			if opts.Adaptive != nil {
+				var adaptive time.Duration
+				for k := range pending {
+					if d := opts.Adaptive.Deadline(gray.ClassStep, k.From); d > adaptive {
+						adaptive = d
+					}
+				}
+				if adaptive > 0 {
+					timeout = adaptive
+				}
+			}
 			endRecv := tel.Span(me, telemetry.PhaseRecv, telemetry.CatNetwork, si)
-			from, tag, payload, err := c.RecvAnyTimeout(keys, opts.RecvTimeout)
+			recvT0 := time.Now()
+			from, tag, payload, err := c.RecvAnyTimeout(keys, timeout)
 			endRecv()
 			if err != nil {
 				if errors.Is(err, comm.ErrDeadline) {
 					tel.Add(me, telemetry.CtrDeadlineHits, 1)
+					for k := range pending {
+						opts.Health.DeadlineMiss(k.From)
+					}
 				}
 				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 					rep.Degraded = true
@@ -277,6 +310,10 @@ func runOnce(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts Op
 				}
 				return nil, fmt.Errorf("compositor: step %d: %w", si+1, err)
 			}
+			if opts.Adaptive != nil {
+				opts.Adaptive.Observe(gray.ClassStep, from, time.Since(recvT0))
+			}
+			opts.Health.Ok(from)
 			key := comm.MsgKey{From: from, Tag: tag}
 			tr, ok := pending[key]
 			if !ok {
@@ -701,9 +738,19 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch i
 		if r == root {
 			part = buf
 		} else {
+			timeout := opts.RecvTimeout
+			if opts.Adaptive != nil {
+				if d := opts.Adaptive.Deadline(gray.ClassGather, r); d > 0 {
+					timeout = d
+				}
+			}
+			recvT0 := time.Now()
 			var err error
-			part, err = c.RecvTimeout(r, gatherTag(epoch), opts.RecvTimeout)
+			part, err = c.RecvTimeout(r, gatherTag(epoch), timeout)
 			if err != nil {
+				if errors.Is(err, comm.ErrDeadline) {
+					opts.Health.DeadlineMiss(r)
+				}
 				if opts.OnMissing == ComposePartial && comm.IsRecoverable(err) {
 					rep.Degraded = true
 					rep.MissingGathers++
@@ -711,6 +758,10 @@ func gather(c comm.Comm, st *fragstore.Store, rep *Report, opts Options, epoch i
 				}
 				return nil, fmt.Errorf("compositor: gather from rank %d: %w", r, err)
 			}
+			if opts.Adaptive != nil {
+				opts.Adaptive.Observe(gray.ClassGather, r, time.Since(recvT0))
+			}
+			opts.Health.Ok(r)
 		}
 		n, err := insertFinalBlocks(out, st.Tiles(), part, r)
 		if err != nil {

@@ -1,0 +1,427 @@
+package compositor
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/gray"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/transport/faulty"
+	"rtcomp/internal/transport/inproc"
+)
+
+// The gray-failure suite: a browned-out rank — slow but alive — must not
+// change a single output byte, must not trigger a recovery epoch, and must
+// be visibly hedged around in the counters.
+
+// runInprocGray is runInprocPipe generalized for gray-failure scenarios:
+// options may differ per rank (each rank needs its own estimator/health
+// instance) and any rank's fabric may carry a faulty middleware plan
+// (e.g. a brownout). Every rank is wrapped — the middleware CRC-frames
+// each payload, so framing must be symmetric across the job — and ranks
+// with a nil plan get a fault-free pass-through. Watchdog is generous
+// because browned-out cells intentionally run slowly.
+func runInprocGray(t *testing.T, sched *schedule.Schedule, layers []*raster.Image,
+	optsFor func(r int) Options, planFor func(r int) *faulty.Plan) pipeOutcome {
+	t.Helper()
+	p := sched.P
+	o := pipeOutcome{
+		finals:  make([]*raster.Image, p),
+		reports: make([]*Report, p),
+		errs:    make([]error, p),
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		inproc.Run(p, func(c comm.Comm) error {
+			r := c.Rank()
+			plan := planFor(r)
+			if plan == nil {
+				plan = &faulty.Plan{}
+			}
+			c = faulty.Wrap(c, *plan)
+			img, rep, err := Run(c, sched, layers[r], optsFor(r))
+			o.finals[r] = img
+			o.reports[r] = rep
+			o.errs[r] = err
+			return nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("gray run HUNG: schedule did not terminate within the watchdog")
+	}
+	return o
+}
+
+// sumCounter totals a named counter across all ranks and steps.
+func sumCounter(rec *telemetry.Recorder, name string) int64 {
+	var total int64
+	for k, v := range rec.Counters() {
+		if k.Name == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestHedgedBrownoutDifferentialMatrix is the headline acceptance test:
+// with one rank browned out (every delivery delayed well past the hedge
+// threshold), the hedged pipelined executor must produce an image
+// byte-identical to the fault-free synchronous oracle for every schedule
+// and codec — and the counters must show that hedges actually fired and
+// won, i.e. the identical bytes were not produced by merely waiting out
+// the slowness.
+func TestHedgedBrownoutDifferentialMatrix(t *testing.T) {
+	const p, w, h = 4, 37, 11
+	const brown = 15 * time.Millisecond
+	slow := 2 // Buddy(2,4)=3 serves its replica un-browned
+
+	for _, m := range differentialMethods() {
+		if !m.okFor(p) {
+			continue
+		}
+		for _, cdcName := range []string{"raw", "rle", "trle"} {
+			t.Run(fmt.Sprintf("%s/%s", m.name, cdcName), func(t *testing.T) {
+				cdc, err := codec.ByName(cdcName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched, err := m.build(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(8000 + len(m.name)*10 + len(cdcName))))
+				layers := makeLayers(rng, p, w, h, true)
+				want := runInproc(t, sched, layers, cdc)
+
+				rec := telemetry.New()
+				optsFor := func(r int) Options {
+					return Options{
+						Codec:       cdc,
+						GatherRoot:  0,
+						RecvTimeout: 10 * time.Second,
+						Telemetry:   rec,
+						Pipeline: PipelineConfig{
+							Enabled: true,
+							Hedge:   HedgeConfig{Enabled: true, Threshold: 3 * time.Millisecond},
+						},
+					}
+				}
+				planFor := func(r int) *faulty.Plan {
+					if r != slow {
+						return nil
+					}
+					return &faulty.Plan{Brownout: brown}
+				}
+				got := runInprocGray(t, sched, layers, optsFor, planFor).mustFinal(t)
+				if !raster.Equal(got, want) {
+					t.Fatalf("hedged brownout image differs from fault-free oracle: maxdiff=%d", raster.MaxDiff(got, want))
+				}
+				// The chain schedule is the one method where the slow rank's
+				// sends are all impure (it merges its upstream neighbor's
+				// fragments before forwarding), so hedging cannot legally
+				// mask it — correctness still holds, the brownout is just
+				// waited out. Every other method has pure early-step sends
+				// from the slow rank and must show hedge wins.
+				if m.name != "pipeline" {
+					if wins := sumCounter(rec, telemetry.CtrHedgeWins); wins < 1 {
+						t.Fatalf("no hedge wins recorded (requests=%d served=%d): brownout was waited out, not hedged",
+							sumCounter(rec, telemetry.CtrHedgeRequests), sumCounter(rec, telemetry.CtrHedgeServed))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHedgedBrownoutInterleavings drives the hedged executor through
+// several deterministic delivery interleavings and window sizes on top of
+// the brownout, so hedge replies racing originals in different orders all
+// converge on the oracle's bytes.
+func TestHedgedBrownoutInterleavings(t *testing.T) {
+	const p, w, h = 4, 29, 13
+	cdc, err := codec.ByName("trle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.TwoNRT(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8101))
+	layers := makeLayers(rng, p, w, h, true)
+	want := runInproc(t, sched, layers, cdc)
+
+	seeds := []int64{1, 7, 1901}
+	windows := []int{1, 2, 0}
+	for i, seed := range seeds {
+		window := windows[i]
+		t.Run(fmt.Sprintf("seed%d/window%d", seed, window), func(t *testing.T) {
+			rec := telemetry.New()
+			optsFor := func(r int) Options {
+				return Options{
+					Codec:       cdc,
+					GatherRoot:  0,
+					RecvTimeout: 10 * time.Second,
+					Telemetry:   rec,
+					Pipeline: PipelineConfig{
+						Enabled:        true,
+						Window:         window,
+						InterleaveSeed: seed,
+						Hedge:          HedgeConfig{Enabled: true, Threshold: 2 * time.Millisecond},
+					},
+				}
+			}
+			planFor := func(r int) *faulty.Plan {
+				if r != 1 {
+					return nil
+				}
+				return &faulty.Plan{Brownout: 12 * time.Millisecond}
+			}
+			got := runInprocGray(t, sched, layers, optsFor, planFor).mustFinal(t)
+			if !raster.Equal(got, want) {
+				t.Fatalf("interleaved hedged image differs from oracle: maxdiff=%d", raster.MaxDiff(got, want))
+			}
+		})
+	}
+}
+
+// TestHedgeRecoverNoFalseEviction is the zero-false-eviction guarantee:
+// under the Recover policy with health scoring, a browned-out rank whose
+// deliveries arrive after the receive deadline must be granted grace — not
+// declared dead. The run must finish with no recovery epoch, no eviction,
+// and bytes identical to the fault-free oracle.
+func TestHedgeRecoverNoFalseEviction(t *testing.T) {
+	const p, w, h = 4, 31, 9
+	const brown = 120 * time.Millisecond
+	cdc, err := codec.ByName("rle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.TwoNRT(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8202))
+	layers := makeLayers(rng, p, w, h, true)
+	want := runInproc(t, sched, layers, cdc)
+
+	rec := telemetry.New()
+	optsFor := func(r int) Options {
+		return Options{
+			Codec:       cdc,
+			GatherRoot:  0,
+			OnMissing:   Recover,
+			RecvTimeout: 60 * time.Millisecond,
+			Telemetry:   rec,
+			// Escalation bar high enough that a brownout 2x the receive
+			// deadline never reaches it: every arrival decays the score.
+			Health:   gray.NewHealth(gray.HealthConfig{EscalateScore: 1000}, rec, r),
+			Pipeline: PipelineConfig{Enabled: true},
+		}
+	}
+	planFor := func(r int) *faulty.Plan {
+		if r != 2 {
+			return nil
+		}
+		return &faulty.Plan{Brownout: brown}
+	}
+	o := runInprocGray(t, sched, layers, optsFor, planFor)
+	got := o.mustFinal(t)
+	if !raster.Equal(got, want) {
+		t.Fatalf("graced brownout image differs from oracle: maxdiff=%d", raster.MaxDiff(got, want))
+	}
+	for r, rep := range o.reports {
+		if rep == nil {
+			continue
+		}
+		if rep.Recovered || rep.RecoveryEpochs > 0 {
+			t.Fatalf("rank %d: false eviction — browned-out peer was recovered (epochs=%d ranks=%v)",
+				r, rep.RecoveryEpochs, rep.RecoveredRanks)
+		}
+	}
+	if g := sumCounter(rec, telemetry.CtrDeadlineGrace); g < 1 {
+		t.Fatalf("no deadline grace recorded: deadlines never fired, scenario is vacuous")
+	}
+	if e := sumCounter(rec, telemetry.CtrHealthEscalations); e != 0 {
+		t.Fatalf("health escalated a browned-out (alive) peer %d times", e)
+	}
+}
+
+// TestAdaptiveDeadlinePipelined pins the adaptive estimator into the
+// pipelined path: with per-rank estimators the run must stay byte-identical
+// to the static-deadline oracle, and the estimators must actually have
+// warmed (per-peer deadlines differ from the static fallback).
+func TestAdaptiveDeadlinePipelined(t *testing.T) {
+	const p, w, h = 4, 41, 17
+	cdc, err := codec.ByName("trle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.NRT(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8303))
+	layers := makeLayers(rng, p, w, h, false)
+	want := runInproc(t, sched, layers, cdc)
+
+	ests := make([]*gray.Estimator, p)
+	optsFor := func(r int) Options {
+		ests[r] = gray.NewEstimator(gray.Config{Static: 5 * time.Second, MinSamples: 1})
+		return Options{
+			Codec:       cdc,
+			GatherRoot:  0,
+			RecvTimeout: 5 * time.Second,
+			Adaptive:    ests[r],
+			Pipeline:    PipelineConfig{Enabled: true},
+		}
+	}
+	planFor := func(int) *faulty.Plan { return nil }
+	got := runInprocGray(t, sched, layers, optsFor, planFor).mustFinal(t)
+	if !raster.Equal(got, want) {
+		t.Fatalf("adaptive-deadline image differs from oracle: maxdiff=%d", raster.MaxDiff(got, want))
+	}
+	warmed := false
+	for r, est := range ests {
+		for peer := 0; peer < p; peer++ {
+			if peer == r {
+				continue
+			}
+			if d := est.Deadline(gray.ClassStep, peer); d > 0 && d != 5*time.Second {
+				warmed = true
+			}
+		}
+	}
+	if !warmed {
+		t.Fatal("no estimator warmed during the run: observations are not being fed")
+	}
+}
+
+// TestAdaptiveDeadlineSynchronous pins the estimator into the bulk-
+// synchronous path too.
+func TestAdaptiveDeadlineSynchronous(t *testing.T) {
+	const p, w, h = 4, 23, 7
+	cdc, err := codec.ByName("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := schedule.TwoNRT(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8404))
+	layers := makeLayers(rng, p, w, h, false)
+	want := runInproc(t, sched, layers, cdc)
+
+	optsFor := func(r int) Options {
+		return Options{
+			Codec:       cdc,
+			GatherRoot:  0,
+			RecvTimeout: 5 * time.Second,
+			Adaptive:    gray.NewEstimator(gray.Config{Static: 5 * time.Second, MinSamples: 1}),
+		}
+	}
+	planFor := func(int) *faulty.Plan { return nil }
+	got := runInprocGray(t, sched, layers, optsFor, planFor).mustFinal(t)
+	if !raster.Equal(got, want) {
+		t.Fatalf("adaptive synchronous image differs from oracle: maxdiff=%d", raster.MaxDiff(got, want))
+	}
+}
+
+// TestHedgeRequestCodec round-trips the hedge-request frame and rejects
+// malformed inputs.
+func TestHedgeRequestCodec(t *testing.T) {
+	cases := []struct {
+		origin, si int
+		b          schedule.Block
+	}{
+		{0, 0, schedule.Block{}},
+		{3, 7, schedule.Block{Tile: 2, Level: 4, Index: 9}},
+		{1023, 4095, schedule.Block{Tile: 1023, Level: 31, Index: 255}},
+	}
+	for _, c := range cases {
+		p := encodeHedgeReq(c.origin, c.si, c.b)
+		origin, si, b, err := decodeHedgeReq(p)
+		if err != nil {
+			t.Fatalf("round-trip %v: %v", c, err)
+		}
+		if origin != c.origin || si != c.si || b != c.b {
+			t.Fatalf("round-trip %v: got origin=%d si=%d b=%v", c, origin, si, b)
+		}
+	}
+	bad := [][]byte{
+		nil,
+		{},
+		{'H'},
+		{'X', 'Q', 0, 0, 0, 0, 0},
+		append(encodeHedgeReq(1, 2, schedule.Block{Tile: 3}), 0), // trailing byte
+		bytes.Repeat([]byte{0xFF}, 32),                           // uvarint overflow territory
+	}
+	for i, p := range bad {
+		if _, _, _, err := decodeHedgeReq(p); err == nil {
+			t.Fatalf("bad frame %d accepted", i)
+		}
+	}
+}
+
+// TestPlanPure checks the purity predicate that gates which transfers are
+// hedgeable: a sender's tile plan with any receive before the hedged step
+// is impure (its fragments are not reconstructible from the replica alone).
+func TestPlanPure(t *testing.T) {
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank's step-0 sends must be pure: no rank has received
+	// anything before the first step.
+	for r := 0; r < sched.P; r++ {
+		plans := tilePlans(sched, r)
+		for tile, plan := range plans {
+			if len(plan) == 0 {
+				continue
+			}
+			first := plan[0]
+			if !planPure(plan, first.step) {
+				t.Fatalf("rank %d tile %d: first planned step %d reported impure", r, tile, first.step)
+			}
+			// Past any receiving step, purity must be gone.
+			for _, ts := range plan {
+				if len(ts.recvs) > 0 {
+					if planPure(plan, ts.step+1) {
+						t.Fatalf("rank %d tile %d: step beyond recv at %d reported pure", r, tile, ts.step)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// FuzzHedgeRequestDecode asserts the decoder never panics and that every
+// accepted frame re-encodes to the identical bytes (canonical form).
+func FuzzHedgeRequestDecode(f *testing.F) {
+	f.Add(encodeHedgeReq(0, 0, schedule.Block{}))
+	f.Add(encodeHedgeReq(7, 3, schedule.Block{Tile: 5, Level: 2, Index: 1}))
+	f.Add([]byte{'H', 'Q'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		origin, si, b, err := decodeHedgeReq(p)
+		if err != nil {
+			return
+		}
+		re := encodeHedgeReq(origin, si, b)
+		if !bytes.Equal(re, p) {
+			t.Fatalf("accepted non-canonical frame: % x re-encodes to % x", p, re)
+		}
+	})
+}

@@ -42,6 +42,7 @@ import (
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/fragstore"
+	"rtcomp/internal/gray"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 	"rtcomp/internal/telemetry"
@@ -68,17 +69,28 @@ const (
 type pipeKind int8
 
 const (
-	kStep   pipeKind = iota // a scheduled block transfer
-	kGather                 // a completed tile's final blocks (root only)
-	kCredit                 // a progressive-gather credit (non-root only)
-	kNotice                 // a recovery FAILED notice
+	kStep     pipeKind = iota // a scheduled block transfer
+	kGather                   // a completed tile's final blocks (root only)
+	kCredit                   // a progressive-gather credit (non-root only)
+	kNotice                   // a recovery FAILED notice
+	kHedgeReq                 // a ward's receiver asking for a replica reconstruction
+	kHedgeRep                 // a buddy's reconstruction of an overdue transfer
+	kStale                    // a late frame to swallow, never to wait for
 )
+
+// substantive reports whether the receiver must wait for a message of this
+// kind before exiting. Notices may never come; hedge traffic only exists
+// when something is overdue; stale frames are consumed if they arrive.
+func (k pipeKind) substantive() bool {
+	return k == kStep || k == kGather || k == kCredit
+}
 
 // pipeExpect is the dispatch record of one expected message.
 type pipeExpect struct {
 	kind pipeKind
 	si   int // step index (kStep) or tile index (kGather)
 	tr   schedule.Transfer
+	orig comm.MsgKey // kHedgeRep: the original transfer's key, for dedup
 }
 
 // tileMsg is one delivery to a tile's state machine. A nil payload marks a
@@ -171,6 +183,24 @@ type pipeRun struct {
 	expMu  sync.Mutex
 	expect map[comm.MsgKey]pipeExpect
 
+	// Gray-failure machinery: the adaptive deadline estimator and peer
+	// health scores (both optional), and the hedging state — the dedup sets
+	// keyed by the original transfer's message identity, the per-rank plan
+	// cache for purity checks and reconstruction, the ward replicas, and
+	// the request-serving channel. See hedge.go.
+	est       *gray.Estimator
+	health    *gray.Health
+	hedge     bool
+	hedgeMu   sync.Mutex
+	delivered map[comm.MsgKey]bool
+	hedgedReq map[comm.MsgKey]bool
+	planCache map[int][][]tileStep
+	replicas  map[int]*raster.Image
+	hedgeCh   chan hedgeJob
+	hedgeDone chan struct{}
+
+	partials *partialPump
+
 	mu      sync.Mutex
 	err     error
 	aborted bool
@@ -208,6 +238,8 @@ func newPipeRun(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		root:     opts.GatherRoot,
 		epoch:    epoch,
 		recov:    recov,
+		est:      opts.Adaptive,
+		health:   opts.Health,
 		plans:    tilePlans(sched, me),
 		spans:    sched.TileSpans(local.NPixels()),
 		window:   opts.Pipeline.window(sched.Tiles),
@@ -276,6 +308,12 @@ func newPipeRun(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 			pr.expect[k] = pipeExpect{kind: kNotice}
 		}
 	}
+	if opts.Pipeline.Hedge.Enabled {
+		pr.initHedge()
+	}
+	if pr.root >= 0 && me == pr.root {
+		pr.partials = newPartialPump(opts.Pipeline, sched.Tiles, pr.tel, me)
+	}
 	return pr, nil
 }
 
@@ -286,6 +324,9 @@ func newPipeRun(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 func (pr *pipeRun) run() {
 	pr.t0 = time.Now()
 	go pr.receiver()
+	if pr.hedgeCh != nil {
+		go pr.hedgeServer()
+	}
 	if pr.root >= 0 && pr.me == pr.root {
 		go pr.assembler()
 	} else {
@@ -297,6 +338,12 @@ func (pr *pipeRun) run() {
 	}
 	pr.workerWG.Wait()
 	<-pr.recvDone
+	if pr.hedgeCh != nil {
+		// The receiver is the only producer; with it gone the serving
+		// queue can drain and close.
+		close(pr.hedgeCh)
+		<-pr.hedgeDone
+	}
 	<-pr.asmDone
 }
 
@@ -451,12 +498,35 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 				return pr.failf("compositor: step %d: %w", ts.step+1, err)
 			}
 		}
+		// Hedgeable transfers still outstanding for this step arm a timer:
+		// if any is overdue past the hedge threshold, the sender's buddy is
+		// asked for a byte-identical reconstruction (once per transfer).
+		var pending map[comm.MsgKey]schedule.Transfer
+		var hedgeC <-chan time.Time
+		var hedgeTimer *time.Timer
+		if pr.hedge && len(ts.recvs) > 0 {
+			pending = map[comm.MsgKey]schedule.Transfer{}
+			for _, tr := range ts.recvs {
+				if pr.hedgeable(tr.From, ts.step, t) {
+					pending[comm.MsgKey{From: tr.From, Tag: tagFor(pr.epoch, ts.step, tr.Block)}] = tr
+				}
+			}
+			if len(pending) > 0 {
+				hedgeTimer = time.NewTimer(pr.hedgeDelay(pending))
+				hedgeC = hedgeTimer.C
+			}
+		}
 		for need := len(ts.recvs); need > 0; {
 			m, ok := takeStashed(&stash, ts.step)
 			if !ok {
 				select {
 				case m = <-pr.tileCh[t]:
+				case <-hedgeC:
+					hedgeC = nil
+					pr.issueHedges(ts.step, t, pending)
+					continue
 				case <-pr.cancel:
+					hedgeStop(hedgeTimer)
 					return errPipeStop
 				}
 				if m.si != ts.step {
@@ -467,6 +537,9 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 				}
 			}
 			need--
+			if pending != nil {
+				delete(pending, comm.MsgKey{From: m.tr.From, Tag: tagFor(pr.epoch, ts.step, m.tr.Block)})
+			}
 			if m.payload == nil {
 				// The receiver declared this transfer lost (compose-partial).
 				w.rep.Degraded = true
@@ -488,6 +561,7 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 				return pr.fail(err)
 			}
 		}
+		hedgeStop(hedgeTimer)
 		for h := 0; h < ts.post; h++ {
 			st.HalveAll()
 		}
@@ -525,6 +599,13 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 	tel.Add(me, telemetry.CtrTilesDone, 1)
 	tel.Observe(me, telemetry.HistTileLatency, time.Since(claimed))
 	return nil
+}
+
+// hedgeStop stops a hedge timer, tolerating the unarmed (nil) case.
+func hedgeStop(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
 }
 
 // takeStashed pops a stashed delivery for the given step, if any.
@@ -673,15 +754,7 @@ func (pr *pipeRun) assembler() {
 					nfired++
 					pr.tel.Add(pr.me, telemetry.CtrPartialTiles, 1)
 					pr.tel.Observe(pr.me, telemetry.HistPartialLatency, time.Since(pr.t0))
-					if pr.opts.Pipeline.OnPartial != nil {
-						pr.opts.Pipeline.OnPartial(PartialFrame{
-							Tile:  t,
-							Span:  pr.spans[t],
-							Pix:   out.SpanBytes(pr.spans[t]),
-							Done:  nfired,
-							Total: tiles,
-						})
-					}
+					pr.partials.publish(t, pr.spans[t], out.SpanBytes(pr.spans[t]), nfired, tiles)
 				}
 			} else if pr.recov != nil {
 				pr.abortAttempt(nil, true)
@@ -719,21 +792,38 @@ func (pr *pipeRun) receiver() {
 	gatherMissing := map[int]bool{}
 	var keys []comm.MsgKey
 	var silence time.Duration
-	deadline := pr.opts.RecvTimeout
+	lastArr := time.Now()
 	for {
 		// Notice keys are select-only additions (like the synchronous path's
 		// RecvAny key lists): the receiver exits once every substantive
 		// message is in, not when a notice that may never come arrives.
+		// When an estimator is present, the silence budget is the widest
+		// adaptive deadline across the peers still owing substantive data —
+		// per-peer knowledge tightening (or loosening) the static timeout.
 		pr.expMu.Lock()
 		keys = keys[:0]
 		substantive := 0
+		var adaptive time.Duration
 		for k, d := range pr.expect {
 			keys = append(keys, k)
-			if d.kind != kNotice {
+			if d.kind.substantive() {
 				substantive++
+				if pr.est != nil {
+					cls := gray.ClassStep
+					if d.kind != kStep {
+						cls = gray.ClassGather
+					}
+					if dl := pr.est.Deadline(cls, k.From); dl > adaptive {
+						adaptive = dl
+					}
+				}
 			}
 		}
 		pr.expMu.Unlock()
+		deadline := pr.opts.RecvTimeout
+		if pr.est != nil && adaptive > 0 {
+			deadline = adaptive
+		}
 		if substantive == 0 {
 			if il != nil && il.len() > 0 {
 				// Flush the reorder buffer first — it may hold a peer's
@@ -757,6 +847,14 @@ func (pr *pipeRun) receiver() {
 		switch {
 		case err == nil:
 			silence = 0
+			if pr.est != nil || pr.health != nil {
+				now := time.Now()
+				if cls, ok := classOfTag(tag); ok {
+					pr.est.Observe(cls, from, now.Sub(lastArr))
+				}
+				lastArr = now
+				pr.health.Ok(from)
+			}
 			if il != nil {
 				il.push(from, tag, payload)
 				continue
@@ -804,6 +902,22 @@ func (pr *pipeRun) dispatch(from, tag int, payload []byte) {
 	}
 	switch d.kind {
 	case kStep:
+		if pr.hedge {
+			pr.hedgeMu.Lock()
+			dup := pr.delivered[key]
+			if !dup {
+				pr.delivered[key] = true
+			}
+			pr.hedgeMu.Unlock()
+			if dup {
+				// A hedged reconstruction already fed the tile; this is the
+				// slow original finally arriving.
+				bufpool.Put(payload)
+				pr.tel.Flight(pr.me, telemetry.FlightHedge, d.si, d.tr.Block.Tile, from,
+					"late original dropped")
+				return
+			}
+		}
 		pr.tileCh[d.tr.Block.Tile] <- tileMsg{si: d.si, tr: d.tr, payload: payload}
 	case kGather:
 		pr.asmCh <- asmMsg{from: from, tile: d.si, payload: payload}
@@ -815,6 +929,18 @@ func (pr *pipeRun) dispatch(from, tag int, payload []byte) {
 		// A peer already broadcast this epoch's failure; abort without
 		// repeating it (mirroring the synchronous attempt).
 		pr.abortAttempt(nil, false)
+	case kHedgeReq:
+		// Queue for the serving goroutine; the channel is sized to the
+		// full registered request count, so this cannot block the pump.
+		select {
+		case pr.hedgeCh <- hedgeJob{from: from, payload: payload}:
+		default:
+			bufpool.Put(payload)
+		}
+	case kHedgeRep:
+		pr.deliverHedge(d.orig, d.si, d.tr, payload)
+	case kStale:
+		bufpool.Put(payload)
 	}
 }
 
@@ -822,9 +948,33 @@ func (pr *pipeRun) dispatch(from, tag int, payload []byte) {
 // silence across every outstanding key). Returns true when the receiver
 // should exit.
 func (pr *pipeRun) onDeadline(err error, gatherMissing map[int]bool) bool {
+	suspects := pr.pendingSenders()
+	for _, s := range suspects {
+		pr.health.DeadlineMiss(s)
+	}
 	switch {
 	case pr.recov != nil:
-		pr.abortAttempt(pr.pendingSenders(), true)
+		// Brownout vs death: with health scoring, a first (or occasional)
+		// miss earns grace — the run keeps waiting instead of evicting a
+		// peer that is slow but still delivering. Only a score sustained
+		// past the escalation bar hands the suspects to failure agreement.
+		if pr.health != nil && len(suspects) > 0 {
+			escalate := false
+			for _, s := range suspects {
+				if pr.health.ShouldEscalate(s) {
+					escalate = true
+					break
+				}
+			}
+			if !escalate {
+				pr.tel.Add(pr.me, telemetry.CtrDeadlineGrace, 1)
+				pr.tel.Flight(pr.me, telemetry.FlightGray, telemetry.StepNone, -1, -1,
+					fmt.Sprintf("deadline grace for ranks %v", suspects))
+				return false
+			}
+			pr.tel.Add(pr.me, telemetry.CtrHealthEscalations, 1)
+		}
+		pr.abortAttempt(suspects, true)
 		return true
 	case pr.opts.OnMissing == ComposePartial:
 		pr.dropPending(func(comm.MsgKey) bool { return true }, gatherMissing)
@@ -875,26 +1025,60 @@ func (pr *pipeRun) stallDump() string {
 // notices to the assembler (counted once per source rank), and credits are
 // granted locally so no worker starves on a silent root.
 func (pr *pipeRun) dropPending(match func(comm.MsgKey) bool, gatherMissing map[int]bool) {
-	pr.sawMissing.Store(true)
-	pr.mu.Lock()
-	pr.rep.Degraded = true
-	pr.mu.Unlock()
-	pr.expMu.Lock()
-	var dropped []struct {
+	type drop struct {
 		k comm.MsgKey
 		d pipeExpect
 	}
+	pr.expMu.Lock()
+	var dropped []drop
 	for k, d := range pr.expect {
-		if match(k) {
-			dropped = append(dropped, struct {
-				k comm.MsgKey
-				d pipeExpect
-			}{k, d})
+		if match(k) && d.kind.substantive() {
+			dropped = append(dropped, drop{k, d})
 			delete(pr.expect, k)
 		}
 	}
 	pr.expMu.Unlock()
-	for _, kd := range dropped {
+	// Under hedging, a transfer whose reconstruction already fed the tile
+	// is not missing — only the real losses degrade the frame. Unclaimed
+	// drops are marked delivered so a hedge reply still in flight becomes a
+	// wasted duplicate instead of a double delivery.
+	real := dropped
+	if pr.hedge {
+		real = dropped[:0]
+		var covered []drop
+		for _, kd := range dropped {
+			if kd.d.kind == kStep {
+				pr.hedgeMu.Lock()
+				won := pr.delivered[kd.k]
+				if !won {
+					pr.delivered[kd.k] = true
+				}
+				pr.hedgeMu.Unlock()
+				if won {
+					covered = append(covered, kd)
+					continue
+				}
+			}
+			real = append(real, kd)
+		}
+		if len(covered) > 0 {
+			// The slow originals of hedge-won transfers are still coming;
+			// re-register them as stale so their arrival is swallowed.
+			pr.expMu.Lock()
+			for _, kd := range covered {
+				pr.expect[kd.k] = pipeExpect{kind: kStale}
+			}
+			pr.expMu.Unlock()
+		}
+		if len(dropped) > 0 && len(real) == 0 {
+			return // every matched loss was already hedge-covered
+		}
+	}
+	pr.sawMissing.Store(true)
+	pr.mu.Lock()
+	pr.rep.Degraded = true
+	pr.mu.Unlock()
+	for _, kd := range real {
 		switch kd.d.kind {
 		case kStep:
 			pr.tileCh[kd.d.tr.Block.Tile] <- tileMsg{si: kd.d.si, tr: kd.d.tr}
@@ -1028,8 +1212,19 @@ func runPipelined(c comm.Comm, sched *schedule.Schedule, local *raster.Image, op
 	if err != nil {
 		return nil, false, err
 	}
+	if pr.hedge {
+		if recov != nil {
+			// The Recover policy already exchanged buddy replicas; serve
+			// hedges from those.
+			pr.replicas = recov.replicas
+		} else if err := pr.exchangeHedgeReplicas(); err != nil {
+			pr.partials.finish()
+			return nil, false, err
+		}
+	}
 	pr.run()
 	pr.teardown()
+	pr.partials.finish()
 	pr.tel.Add(pr.me, telemetry.CtrPipeInflightMax, pr.maxInFlight.Load())
 	pr.mu.Lock()
 	ferr, aborted, final := pr.err, pr.aborted, pr.final

@@ -71,6 +71,11 @@ type rexec struct {
 	mem   *comm.Membership
 	scr   *runScratch // reused across epochs; an abort does not invalidate it
 
+	// replicas holds the ward sub-images this rank received in the initial
+	// buddy exchange — the recovery source, and (when hedging is enabled)
+	// the material the pipelined attempt serves hedge requests from.
+	replicas map[int]*raster.Image
+
 	// noticeSent guards the one FAILED notice this rank may broadcast per
 	// epoch (the notice tag is unique per epoch).
 	noticeSent bool
@@ -84,6 +89,30 @@ func (rx *rexec) abort(suspects []int) bool {
 		comm.BroadcastFailure(rx.c, rx.mem, suspects)
 		rx.tel.Add(rx.me, telemetry.CtrFailNotices, 1)
 	}
+	return true
+}
+
+// graceOrEscalate is the brownout-vs-death decision at a receive deadline:
+// it records a deadline miss against every suspect and reports whether the
+// attempt should keep waiting (grace). Without health scoring the answer is
+// always to abort — the pre-existing silence-only semantics. With it, only
+// a suspect whose misbehavior is sustained past the escalation bar hands
+// the attempt to failure agreement; a slow-but-delivering peer's score
+// decays on every arrival and never gets there.
+func (rx *rexec) graceOrEscalate(suspects []int) bool {
+	for _, s := range suspects {
+		rx.opts.Health.DeadlineMiss(s)
+	}
+	if rx.opts.Health == nil || len(suspects) == 0 {
+		return false
+	}
+	for _, s := range suspects {
+		if rx.opts.Health.ShouldEscalate(s) {
+			rx.tel.Add(rx.me, telemetry.CtrHealthEscalations, 1)
+			return false
+		}
+	}
+	rx.tel.Add(rx.me, telemetry.CtrDeadlineGrace, 1)
 	return true
 }
 
@@ -141,6 +170,7 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 	if err != nil {
 		return nil, nil, err
 	}
+	rx.replicas = replicas
 
 	recoveries := 0
 	var final *raster.Image
@@ -328,7 +358,14 @@ func (rx *rexec) exchangeReplicas() (map[int]*raster.Image, bool, error) {
 				continue
 			case errors.Is(err, comm.ErrDeadline):
 				rx.tel.Add(rx.me, telemetry.CtrDeadlineHits, 1)
-				aborted = rx.abort(setKeys(pending))
+				// A slow ward earns grace here exactly like a slow sender
+				// during the composition: its replica may be the only copy,
+				// and a brownout is not a death.
+				suspects := setKeys(pending)
+				if rx.graceOrEscalate(suspects) {
+					continue
+				}
+				aborted = rx.abort(suspects)
 				return replicas, aborted, nil
 			}
 			return nil, false, fmt.Errorf("compositor: replica exchange: %w", err)
@@ -341,6 +378,7 @@ func (rx *rexec) exchangeReplicas() (map[int]*raster.Image, bool, error) {
 			continue
 		}
 		delete(pending, from)
+		rx.opts.Health.Ok(from)
 		img, derr := decodeReplica(payload, rx.cdc, rx.local.W, rx.local.H)
 		// decodeReplica copies the pixels into a fresh image (even when the
 		// codec aliases its input), so the wire buffer recycles either way.
@@ -421,7 +459,11 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 					return nil, rx.abort([]int{perr.Rank}), nil
 				case errors.Is(err, comm.ErrDeadline):
 					rx.tel.Add(me, telemetry.CtrDeadlineHits, 1)
-					return nil, rx.abort(sendersOf(pending)), nil
+					suspects := sendersOf(pending)
+					if rx.graceOrEscalate(suspects) {
+						continue
+					}
+					return nil, rx.abort(suspects), nil
 				}
 				return nil, false, fmt.Errorf("compositor: step %d: %w", si+1, err)
 			}
@@ -508,7 +550,11 @@ func (rx *rexec) epochAttempt(plan *schedule.Schedule, owners []int, replicas ma
 				return nil, rx.abort([]int{perr.Rank}), nil
 			case errors.Is(err, comm.ErrDeadline):
 				rx.tel.Add(me, telemetry.CtrDeadlineHits, 1)
-				return nil, rx.abort(setKeys(pendingRanks)), nil
+				suspects := setKeys(pendingRanks)
+				if rx.graceOrEscalate(suspects) {
+					continue
+				}
+				return nil, rx.abort(suspects), nil
 			}
 			return nil, false, fmt.Errorf("compositor: gather: %w", err)
 		}

@@ -16,6 +16,7 @@ import (
 	"rtcomp/internal/codec"
 	"rtcomp/internal/comm"
 	"rtcomp/internal/compositor"
+	"rtcomp/internal/gray"
 	"rtcomp/internal/model"
 	"rtcomp/internal/partition"
 	"rtcomp/internal/raster"
@@ -173,19 +174,40 @@ type Config struct {
 	// OnPartialFrame, with Pipeline on, fires on rank 0 as each tile of the
 	// intermediate image completes — progressive frame delivery.
 	OnPartialFrame func(compositor.PartialFrame)
+	// AdaptiveDeadline gives each rank a per-peer latency estimator that
+	// tightens (never loosens past RecvTimeout) its receive deadlines from
+	// observed arrivals, so a browned-out peer is noticed in a round-trip
+	// or two instead of a full static timeout.
+	AdaptiveDeadline bool
+	// Hedge, with Pipeline on, speculatively re-requests overdue tile
+	// transfers from the origin rank's buddy replica: a gray (slow, not
+	// dead) peer is masked without a recovery epoch, byte-identically.
+	Hedge bool
+	// HedgeThreshold is how overdue a transfer must be before hedging;
+	// zero uses the adaptive estimate (AdaptiveDeadline) or the
+	// compositor's built-in default.
+	HedgeThreshold time.Duration
+	// Health, non-nil, is the peer-health tracker the compositor scores
+	// gray-failure signals into; when nil and AdaptiveDeadline or Hedge is
+	// set, a per-rank tracker is created internally. Supplying one lets the
+	// caller feed transport-level signals (session frame replays) into the
+	// same scores — only safe when this Config drives a single rank, since
+	// health state must never be shared across ranks.
+	Health *gray.Health
 	// Telemetry records per-rank render/composite/warp spans and counters
 	// for the frame. Nil (the default) disables recording.
 	Telemetry *telemetry.Recorder
 }
 
 // compositeOptions resolves the fault-tolerance fields into compositor
-// options rooted at rank 0.
-func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) {
+// options rooted at rank 0. The rank matters when the gray-failure knobs
+// are on: estimators and health scores are per-rank state, never shared.
+func (cfg Config) compositeOptions(cdc codec.Codec, rank int) (compositor.Options, error) {
 	policy, err := compositor.ParsePolicy(cfg.OnMissing)
 	if err != nil {
 		return compositor.Options{}, err
 	}
-	return compositor.Options{
+	opts := compositor.Options{
 		Codec:         cdc,
 		GatherRoot:    0,
 		RecvTimeout:   cfg.RecvTimeout,
@@ -197,8 +219,18 @@ func (cfg Config) compositeOptions(cdc codec.Codec) (compositor.Options, error) 
 			Window:         cfg.PipelineWindow,
 			InterleaveSeed: cfg.InterleaveSeed,
 			OnPartial:      cfg.OnPartialFrame,
+			Hedge:          compositor.HedgeConfig{Enabled: cfg.Hedge, Threshold: cfg.HedgeThreshold},
 		},
-	}, nil
+	}
+	if cfg.AdaptiveDeadline {
+		opts.Adaptive = gray.NewEstimator(gray.Config{Static: cfg.RecvTimeout})
+	}
+	if cfg.Health != nil {
+		opts.Health = cfg.Health
+	} else if cfg.AdaptiveDeadline || cfg.Hedge {
+		opts.Health = gray.NewHealth(gray.HealthConfig{}, cfg.Telemetry, rank)
+	}
+	return opts, nil
 }
 
 // renderCtx carries the per-frame render state shared by all ranks.
@@ -335,7 +367,7 @@ func RenderParallelVolume(cfg Config, vol *volume.Volume, tf *xfer.Func) (*Frame
 			return err
 		}
 		renderTimes[c.Rank()] = time.Since(t0)
-		copts, err := cfg.compositeOptions(cdc)
+		copts, err := cfg.compositeOptions(cdc, c.Rank())
 		if err != nil {
 			return err
 		}
@@ -413,7 +445,7 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	if err != nil {
 		return nil, nil, err
 	}
-	copts, err := cfg.compositeOptions(cdc)
+	copts, err := cfg.compositeOptions(cdc, c.Rank())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,122 @@
+package gray
+
+import (
+	"testing"
+
+	"rtcomp/internal/telemetry"
+)
+
+// TestHealthGrayTransition checks that sustained deadline misses flag a
+// peer gray and that the transition is counted and flight-recorded.
+func TestHealthGrayTransition(t *testing.T) {
+	rec := telemetry.New()
+	h := NewHealth(HealthConfig{}, rec, 0)
+	if h.Gray(5) {
+		t.Fatal("fresh peer flagged gray")
+	}
+	h.DeadlineMiss(5) // +3
+	if h.Gray(5) {
+		t.Fatal("one miss flagged gray")
+	}
+	h.DeadlineMiss(5) // +3 -> 6 = default GrayScore
+	if !h.Gray(5) {
+		t.Fatalf("two misses (score %.1f) did not flag gray", h.Score(5))
+	}
+	found := false
+	for _, ev := range rec.FlightEvents() {
+		if ev.Kind == telemetry.FlightGray && ev.Peer == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gray transition missing from the flight recorder")
+	}
+}
+
+// TestHealthBrownoutVsDeath is the core brownout/death distinction: a slow
+// peer that still delivers (miss, arrive, miss, arrive ...) must hover
+// below the escalation bar forever, while a silent peer's score climbs
+// monotonically past it.
+func TestHealthBrownoutVsDeath(t *testing.T) {
+	h := NewHealth(HealthConfig{}, nil, 0)
+	// Brownout: every miss is followed by an arrival that decays the score.
+	for i := 0; i < 100; i++ {
+		h.DeadlineMiss(1)
+		if h.ShouldEscalate(1) {
+			t.Fatalf("brownout peer escalated after %d miss/arrive cycles (score %.1f)", i, h.Score(1))
+		}
+		h.Ok(1)
+	}
+	// Death: misses with no arrivals climb past the bar.
+	for i := 0; i < 100; i++ {
+		h.DeadlineMiss(2)
+		if h.ShouldEscalate(2) {
+			if i < 3 {
+				t.Fatalf("dead peer escalated after only %d misses", i+1)
+			}
+			return
+		}
+	}
+	t.Fatal("dead peer never escalated")
+}
+
+// TestHealthSignals checks that hedge wins and retransmits feed the score
+// with their configured weights and show up in snapshots.
+func TestHealthSignals(t *testing.T) {
+	h := NewHealth(HealthConfig{}, nil, 0)
+	for i := 0; i < 6; i++ {
+		h.HedgeWon(3) // +1 each
+	}
+	if !h.Gray(3) {
+		t.Fatalf("six hedge wins (score %.1f) did not flag gray", h.Score(3))
+	}
+	h.Retransmit(4, 12) // +6
+	if !h.Gray(4) {
+		t.Fatalf("12 retransmits (score %.1f) did not flag gray", h.Score(4))
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d peers, want 2", len(snap))
+	}
+	for _, ph := range snap {
+		switch ph.Peer {
+		case 3:
+			if ph.HedgesWon != 6 {
+				t.Fatalf("peer 3 hedges = %d, want 6", ph.HedgesWon)
+			}
+		case 4:
+			if ph.Retransmits != 12 {
+				t.Fatalf("peer 4 retransmits = %d, want 12", ph.Retransmits)
+			}
+		}
+	}
+}
+
+// TestHealthRecovery checks that arrivals un-flag a gray peer once its
+// score has decayed well below the threshold (hysteresis at half).
+func TestHealthRecovery(t *testing.T) {
+	h := NewHealth(HealthConfig{}, nil, 0)
+	h.DeadlineMiss(1)
+	h.DeadlineMiss(1)
+	if !h.Gray(1) {
+		t.Fatal("peer not gray after two misses")
+	}
+	for i := 0; i < 4; i++ {
+		h.Ok(1)
+	}
+	if h.Gray(1) {
+		t.Fatalf("peer still gray after decay (score %.1f)", h.Score(1))
+	}
+}
+
+// TestHealthNil pins that a nil Health is inert on every method.
+func TestHealthNil(t *testing.T) {
+	var h *Health
+	h.DeadlineMiss(0)
+	h.HedgeWon(0)
+	h.Retransmit(0, 5)
+	h.Ok(0)
+	if h.Gray(0) || h.ShouldEscalate(0) || h.Score(0) != 0 || h.Snapshot() != nil {
+		t.Fatal("nil Health is not inert")
+	}
+}

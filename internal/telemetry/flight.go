@@ -32,6 +32,9 @@ const (
 	FlightCreditWait                        // a gather send blocked on a credit
 	FlightEpoch                             // a recovery epoch transition
 	FlightStall                             // a stall/deadline diagnosis
+	FlightHedge                             // a speculative replica request, reply or race outcome
+	FlightGray                              // a peer-health transition (gray, recovered, escalated)
+	FlightAdmit                             // an admission-control decision (shed, queued, admitted)
 )
 
 // String names the kind for dumps.
@@ -53,6 +56,12 @@ func (k FlightKind) String() string {
 		return "epoch"
 	case FlightStall:
 		return "stall"
+	case FlightHedge:
+		return "hedge"
+	case FlightGray:
+		return "gray"
+	case FlightAdmit:
+		return "admit"
 	default:
 		return "unknown"
 	}

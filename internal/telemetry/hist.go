@@ -170,6 +170,22 @@ func (h *Histogram) Snapshot(name string) HistStat {
 	return st
 }
 
+// Merge adds a portable snapshot's buckets into the histogram — the inverse
+// of Snapshot, used to seed estimators from previously gathered digests.
+// Out-of-range bucket indices are ignored. Nil-safe.
+func (h *Histogram) Merge(st HistStat) {
+	if h == nil {
+		return
+	}
+	for _, b := range st.Buckets {
+		if b.Idx >= 0 && b.Idx < HistBuckets && b.N > 0 {
+			h.counts[b.Idx].Add(b.N)
+			h.count.Add(b.N)
+			h.sum.Add(b.N * histUpper(b.Idx))
+		}
+	}
+}
+
 // histMerge accumulates a snapshot into a dense bucket vector, returning
 // the added observation count.
 func histMerge(dense []int64, st HistStat) int64 {
@@ -190,6 +206,8 @@ const (
 	HistSessionRTT     = "session_rtt"     // tcpnet data-frame send -> cumulative ack
 	HistPartialLatency = "partial_latency" // pipelined run start -> OnPartial tile delivery
 	HistTileLatency    = "tile_latency"    // pipelined tile claim -> fully composited
+	HistAdmitWait      = "admit_wait"      // admission queue entry -> slot acquired
+	HistRenderLatency  = "render_latency"  // admitted request start -> render complete
 )
 
 // HistKey identifies one histogram in a recorder's registry.

@@ -90,6 +90,19 @@ const (
 	CtrCreditsGranted  = "credits_granted"   // progressive-gather credits the root granted
 	CtrCreditWaits     = "credit_waits"      // gather sends that blocked on a credit
 	CtrPartialTiles    = "partial_tiles"     // completed tiles delivered progressively at the root
+
+	CtrHedgeRequests     = "hedge_requests"     // speculative replica requests issued for overdue transfers
+	CtrHedgeWins         = "hedge_wins"         // transfers satisfied by a hedged replica before the original
+	CtrHedgeWasted       = "hedge_wasted"       // hedged replicas that lost the race to the original
+	CtrHedgeServed       = "hedge_served"       // replica reconstructions served to a hedging peer
+	CtrDeadlineGrace     = "deadline_grace"     // receive deadlines extended by the health gate (brownout, not death)
+	CtrPeerGray          = "peer_gray"          // peers whose health score crossed the gray threshold
+	CtrHealthEscalations = "health_escalations" // gray peers escalated to the failure-agreement path
+	CtrPartialDrops      = "partial_drops"      // OnPartial frames dropped by a full delivery buffer
+
+	CtrReqAdmitted = "requests_admitted" // render requests that acquired a slot
+	CtrReqShed     = "requests_shed"     // render requests rejected by admission control
+	CtrReqQueued   = "requests_queued"   // admitted requests that waited in the admission queue
 )
 
 // StepNone marks a span or counter that is not scoped to a composition step

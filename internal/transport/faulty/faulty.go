@@ -69,6 +69,17 @@ type Plan struct {
 	// Send calls: subsequent operations return ErrDead — the injected
 	// peer-death fault.
 	DieAfterSends int
+	// Brownout holds back every surviving delivery by a fixed delay — the
+	// gray-failure model: the endpoint is slow on every message but never
+	// dies and never loses data, which is invisible to purely silence-based
+	// failure detection until a deadline fires. Stacks with DelayProb
+	// jitter. Zero disables it.
+	Brownout time.Duration
+	// BrownoutAfterSends delays the onset of Brownout until this many Send
+	// calls have completed at full speed — the mid-run brownout: early
+	// traffic (handshakes, replica exchange) lands on time, then the
+	// endpoint turns slow. Zero means browned out from the first send.
+	BrownoutAfterSends int
 	// Telemetry, when non-nil, receives the injected-fault counters
 	// (retransmissions, losses, corruptions, CRC rejects) as they happen,
 	// in addition to the Stats snapshot.
@@ -219,6 +230,12 @@ func (e *Endpoint) SendCtx(to, tag int, payload []byte, tc traceid.Context) erro
 	if !lost && e.roll(e.plan.DelayProb) && e.plan.MaxDelay > 0 {
 		e.stats.Delayed++
 		delay = time.Duration(e.rng.Int63n(int64(e.plan.MaxDelay))) + 1
+	}
+	if !lost && e.plan.Brownout > 0 && e.sent > e.plan.BrownoutAfterSends {
+		if delay == 0 {
+			e.stats.Delayed++
+		}
+		delay += e.plan.Brownout
 	}
 	dup := !lost && e.roll(e.plan.DupProb)
 	if dup {

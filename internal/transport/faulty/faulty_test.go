@@ -280,3 +280,63 @@ func TestSeedSeparatesRanks(t *testing.T) {
 		t.Fatalf("ranks 0 and 1 injected identical fault patterns: %+v", stats[0])
 	}
 }
+
+// TestBrownoutDelaysButDelivers pins the gray-failure model: every message
+// survives (no losses), but each one is held back by at least the brownout
+// delay — slow, never dead.
+func TestBrownoutDelaysButDelivers(t *testing.T) {
+	const brown = 30 * time.Millisecond
+	err := inproc.Run(2, func(inner comm.Comm) error {
+		c := Wrap(inner, Plan{Brownout: brown})
+		if c.Rank() == 0 {
+			return c.Send(1, 9, []byte("slow"))
+		}
+		t0 := time.Now()
+		got, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if string(got) != "slow" {
+			return fmt.Errorf("payload %q", got)
+		}
+		if waited := time.Since(t0); waited < brown/2 {
+			return fmt.Errorf("delivery after %v, want a ~%v brownout hold", waited, brown)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrownoutAfterSends pins the mid-run onset: sends up to the threshold
+// land at full speed, the next one is held back by the brownout.
+func TestBrownoutAfterSends(t *testing.T) {
+	const brown = 40 * time.Millisecond
+	err := inproc.Run(2, func(inner comm.Comm) error {
+		c := Wrap(inner, Plan{Brownout: brown, BrownoutAfterSends: 1})
+		if c.Rank() == 0 {
+			if err := c.Send(1, 9, []byte("fast")); err != nil {
+				return err
+			}
+			return c.Send(1, 10, []byte("slow"))
+		}
+		t0 := time.Now()
+		if _, err := c.Recv(0, 9); err != nil {
+			return err
+		}
+		if waited := time.Since(t0); waited >= brown/2 {
+			return fmt.Errorf("pre-onset delivery after %v, want full speed", waited)
+		}
+		if _, err := c.Recv(0, 10); err != nil {
+			return err
+		}
+		if waited := time.Since(t0); waited < brown/2 {
+			return fmt.Errorf("post-onset delivery after %v, want a ~%v brownout hold", waited, brown)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -117,10 +117,15 @@ func TestPartialWriteResetsAndReplays(t *testing.T) {
 	// intact on the resumed connection.
 	rec := telemetry.New()
 	var wraps int32
+	var replayPeer, replayFrames int32
 	eps := startPair(t, func(rank int, cfg *Config) {
 		cfg.Telemetry = rec
 		cfg.DialBackoff = 2 * time.Millisecond
 		if rank == 0 {
+			cfg.Session.OnReplay = func(peer, frames int) {
+				atomic.StoreInt32(&replayPeer, int32(peer))
+				atomic.AddInt32(&replayFrames, int32(frames))
+			}
 			cfg.WrapConn = func(peer int, c net.Conn) net.Conn {
 				if atomic.AddInt32(&wraps, 1) == 1 {
 					// First connection only: tear the second write (the
@@ -161,6 +166,14 @@ func TestPartialWriteResetsAndReplays(t *testing.T) {
 	}
 	if n := ctr[telemetry.CounterKey{Rank: 0, Step: telemetry.StepNone, Name: telemetry.CtrReconnects}]; n < 1 {
 		t.Fatalf("reconnects = %d, want >= 1", n)
+	}
+	// The OnReplay hook fired with the peer and a sane frame count: this
+	// is the signal gray-failure health scoring hangs off.
+	if n := atomic.LoadInt32(&replayFrames); n < 1 {
+		t.Fatalf("OnReplay frames = %d, want >= 1", n)
+	}
+	if p := atomic.LoadInt32(&replayPeer); p != 1 {
+		t.Fatalf("OnReplay peer = %d, want 1", p)
 	}
 }
 
