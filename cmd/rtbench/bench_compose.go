@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,6 +32,12 @@ type benchRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// RawBytes and WireBytes are the summed pre-codec and encoded payload
+	// bytes all ranks shipped in one composition — the codec's compression
+	// on this workload, measured from the run reports so the wire win and
+	// its time cost sit in the same row.
+	RawBytes  int64 `json:"raw_bytes,omitempty"`
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 	// OverlapRatio is the mean per-rank tile concurrency of a pipelined
 	// run: sum of PhaseTile span durations over the rank's tile-processing
 	// wall extent. 1.0 means tiles ran strictly one after another; above 1
@@ -154,6 +161,21 @@ func measureOverlap(sched *schedule.Schedule, layers []*raster.Image, opts compo
 	return tot / float64(len(per)), rec, nil
 }
 
+// measureWire runs one composition and sums the per-rank raw and encoded
+// payload bytes from the run reports.
+func measureWire(sched *schedule.Schedule, layers []*raster.Image, opts compositor.Options) (raw, wire int64, err error) {
+	var mu sync.Mutex
+	err = inproc.Run(sched.P, func(c comm.Comm) error {
+		_, rep, err := compositor.Run(c, sched, layers[c.Rank()], opts)
+		mu.Lock()
+		raw += rep.RawBytes
+		wire += rep.WireBytes
+		mu.Unlock()
+		return err
+	})
+	return raw, wire, err
+}
+
 // benchCompose runs the full matrix, writes rows to outPath and, when
 // budgetPath is non-empty, enforces the committed allocs/op ceilings.
 func benchCompose(outPath, budgetPath string) error {
@@ -199,6 +221,11 @@ func benchCompose(outPath, budgetPath string) error {
 						BytesPerOp:  res.AllocedBytesPerOp(),
 						AllocsPerOp: res.AllocsPerOp(),
 					}
+					raw, wire, err := measureWire(sched, layers, opts)
+					if err != nil {
+						return err
+					}
+					row.RawBytes, row.WireBytes = raw, wire
 					if pipelined {
 						ratio, rec, err := measureOverlap(sched, layers, opts)
 						if err != nil {

@@ -46,6 +46,7 @@ const (
 	ctrPoolHit   = "pool_hit"
 	ctrPoolMiss  = "pool_miss"
 	ctrPoolBytes = "pool_bytes"
+	ctrPoolDrop  = "pool_drop"
 )
 
 // Size classes are powers of two from minShift to maxShift (64 MiB, the
@@ -57,8 +58,13 @@ const (
 	numClass = maxShift - minShift + 1
 
 	// maxPerClass caps each free list so the pool's retained memory stays
-	// bounded even if producers outpace consumers.
-	maxPerClass = 64
+	// bounded even if producers outpace consumers. The pipelined executor
+	// runs every tile's state machine concurrently, each drawing fragment,
+	// message and scratch buffers from the shared pool, so the cap must
+	// cover the peak of all in-flight tiles or overflow Puts drop to the
+	// garbage collector and every later Get re-allocates (the Drops stat
+	// counts exactly these).
+	maxPerClass = 256
 )
 
 // Pool is a size-classed free-list buffer pool. The zero value is ready to
@@ -69,6 +75,7 @@ type Pool struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	bytes  atomic.Int64 // bytes served from recycled buffers
+	drops  atomic.Int64 // recyclable Puts rejected by a full free list
 
 	mu   sync.Mutex
 	tel  CounterSink
@@ -85,6 +92,7 @@ type Stats struct {
 	Hits   int64 // Gets served from a free list
 	Misses int64 // Gets that had to allocate
 	Bytes  int64 // bytes served from recycled buffers
+	Drops  int64 // recyclable Puts rejected because the class was full
 }
 
 // Default is the process-wide pool shared by the transports and the
@@ -162,8 +170,14 @@ func (p *Pool) Put(buf []byte) {
 	fl.mu.Lock()
 	if len(fl.bufs) < maxPerClass {
 		fl.bufs = append(fl.bufs, buf[:0])
+		fl.mu.Unlock()
+		return
 	}
 	fl.mu.Unlock()
+	// A full class means a recyclable buffer leaks to the garbage collector
+	// and some later Get will re-allocate it: sustained drops are a sizing
+	// signal, so they get their own counter.
+	p.count(&p.drops, ctrPoolDrop, 0)
 }
 
 // count bumps the pool's atomic counters and mirrors them into the
@@ -196,5 +210,5 @@ func (p *Pool) Instrument(tel CounterSink, rank int) {
 
 // Stats snapshots the pool's counters.
 func (p *Pool) Stats() Stats {
-	return Stats{Hits: p.hits.Load(), Misses: p.misses.Load(), Bytes: p.bytes.Load()}
+	return Stats{Hits: p.hits.Load(), Misses: p.misses.Load(), Bytes: p.bytes.Load(), Drops: p.drops.Load()}
 }

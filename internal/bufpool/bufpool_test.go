@@ -96,6 +96,28 @@ func TestFreeListBounded(t *testing.T) {
 	if n := len(p.classes[0].bufs); n != maxPerClass {
 		t.Fatalf("free list holds %d buffers, want %d", n, maxPerClass)
 	}
+	if st := p.Stats(); st.Drops != maxPerClass {
+		t.Fatalf("drops = %d, want %d (overflow puts past the cap)", st.Drops, maxPerClass)
+	}
+}
+
+func TestDropCounterMirrored(t *testing.T) {
+	p := &Pool{}
+	tel := telemetry.New()
+	p.Instrument(tel, 1)
+	for i := 0; i < maxPerClass+3; i++ {
+		p.Put(make([]byte, 64))
+	}
+	ctrs := tel.Counters()
+	if got := ctrs[telemetry.CounterKey{Rank: 1, Step: telemetry.StepNone, Name: telemetry.CtrPoolDrop}]; got != 3 {
+		t.Errorf("pool_drop = %d, want 3", got)
+	}
+	// Non-class capacities are aliasing hazards, not sizing signals: they
+	// stay out of the drop count.
+	p.Put(make([]byte, 65))
+	if st := p.Stats(); st.Drops != 3 {
+		t.Errorf("drops = %d after non-class Put, want 3", st.Drops)
+	}
 }
 
 func TestInstrument(t *testing.T) {

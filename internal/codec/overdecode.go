@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"fmt"
+
+	"rtcomp/internal/compose"
+	"rtcomp/internal/raster"
+)
+
+// OverDecoder is the fused receive-path contract: a codec that can
+// composite an encoded block directly with a resident pixel block, so a
+// received fragment is decoded and merged in one pass without ever
+// materializing the decoded pixels in a scratch buffer. Per-pixel results
+// are byte-identical to DecodeInto followed by compose.OverU8 — the fused
+// kernels share compose's per-pixel operator — and the returned over-pixel
+// counts match too, so compositing telemetry is unchanged by fusion.
+//
+// The two calls split validation from mutation: CheckStream applies every
+// stream-integrity check DecodeInto would (framing, truncation, underflow,
+// overflow, blank payload pixels) without touching any pixels, so a caller
+// holding resident state can pre-validate a whole message and keep corrupt
+// payloads transactional — DecodeOver after a failed CheckStream is a
+// caller bug, and DecodeOver's own (redundant) error returns may leave dst
+// partially composited.
+type OverDecoder interface {
+	Codec
+	// CheckStream validates enc as an encoding of exactly npix pixels.
+	CheckStream(enc []uint8, npix int) error
+	// DecodeOver composites the encoded block with dst in place: with
+	// encFront true the decoded pixels act as the front layer (decoded over
+	// dst), otherwise dst is the front (dst over decoded). dst must hold
+	// exactly npix pixels. Returns the number of pixels passed through the
+	// over operator: npix on success.
+	DecodeOver(dst, enc []uint8, npix int, encFront bool) (int, error)
+}
+
+// Statically require the wire codecs to support the fused path.
+var (
+	_ OverDecoder = Raw{}
+	_ OverDecoder = RLE{}
+	_ OverDecoder = TRLE{}
+)
+
+// CheckStream implements OverDecoder: a raw block is valid exactly when its
+// length matches the pixel count.
+func (Raw) CheckStream(enc []uint8, npix int) error {
+	if len(enc) != npix*raster.BytesPerPixel {
+		return fmt.Errorf("%w: raw block has %d bytes, want %d", ErrCorrupt, len(enc), npix*raster.BytesPerPixel)
+	}
+	return nil
+}
+
+// DecodeOver implements OverDecoder: the raw payload feeds the word-wide
+// over kernel directly, skipping the staging copy DecodeInto would make.
+func (Raw) DecodeOver(dst, enc []uint8, npix int, encFront bool) (int, error) {
+	if len(dst) != npix*raster.BytesPerPixel {
+		panic("codec: Raw.DecodeOver dst length mismatch")
+	}
+	if err := (Raw{}).CheckStream(enc, npix); err != nil {
+		return 0, err
+	}
+	if encFront {
+		return compose.OverU8(dst, enc, dst), nil
+	}
+	return compose.OverU8(dst, dst, enc), nil
+}

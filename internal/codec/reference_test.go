@@ -1,0 +1,177 @@
+package codec
+
+// The scalar reference implementations the word-wide kernels replaced,
+// preserved verbatim as the differential oracle: differential_test.go and
+// the *Differential fuzz targets prove the rewritten encoders produce
+// byte-identical streams and the rewritten decoders byte-identical pixels.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rtcomp/internal/raster"
+)
+
+// refRLEEncodeAppend is the per-pixel greedy RLE encoder.
+func refRLEEncodeAppend(dst, pix []uint8) []uint8 {
+	if len(pix)%raster.BytesPerPixel != 0 {
+		panic("codec: RLE.Encode on odd-length pixel block")
+	}
+	n := len(pix) / raster.BytesPerPixel
+	for i := 0; i < n; {
+		v, a := pix[2*i], pix[2*i+1]
+		run := 1
+		for i+run < n && run < 255 && pix[2*(i+run)] == v && pix[2*(i+run)+1] == a {
+			run++
+		}
+		dst = append(dst, uint8(run), v, a)
+		i += run
+	}
+	return dst
+}
+
+// refRLEDecodeInto is the per-pixel RLE decoder.
+func refRLEDecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
+	if len(enc)%3 != 0 {
+		return nil, fmt.Errorf("%w: RLE stream length %d not a multiple of 3", ErrCorrupt, len(enc))
+	}
+	want := npix * raster.BytesPerPixel
+	out := grow(dst, want)
+	w := 0
+	for i := 0; i < len(enc); i += 3 {
+		run, v, a := int(enc[i]), enc[i+1], enc[i+2]
+		if run == 0 {
+			return nil, fmt.Errorf("%w: RLE zero-length run", ErrCorrupt)
+		}
+		if w+run*raster.BytesPerPixel > want {
+			return nil, fmt.Errorf("%w: RLE decoded more than %d pixels", ErrCorrupt, npix)
+		}
+		for j := 0; j < run; j++ {
+			out[w], out[w+1] = v, a
+			w += 2
+		}
+	}
+	if w != want {
+		return nil, fmt.Errorf("%w: RLE decoded %d pixels, want %d", ErrCorrupt, w/raster.BytesPerPixel, npix)
+	}
+	return out, nil
+}
+
+// refTRLEEncodeAppend is the closure-based two-pass TRLE encoder.
+func refTRLEEncodeAppend(dst, pix []uint8) []uint8 {
+	if len(pix)%raster.BytesPerPixel != 0 {
+		panic("codec: TRLE.Encode on odd-length pixel block")
+	}
+	n := len(pix) / raster.BytesPerPixel
+	groups := (n + templatePixels - 1) / templatePixels
+
+	tplAt := func(g int) uint8 {
+		var tpl uint8
+		for j := 0; j < templatePixels; j++ {
+			i := g*templatePixels + j
+			if i < n && pix[2*i+1] != 0 {
+				tpl |= 1 << (templatePixels - 1 - j)
+			}
+		}
+		return tpl
+	}
+	runAt := func(g int) (tpl uint8, run int) {
+		tpl = tplAt(g)
+		run = 1
+		for g+run < groups && run < 16 && tplAt(g+run) == tpl {
+			run++
+		}
+		return tpl, run
+	}
+
+	ncodes := 0
+	for g := 0; g < groups; {
+		_, run := runAt(g)
+		ncodes++
+		g += run
+	}
+	dst = binary.AppendUvarint(dst, uint64(ncodes))
+	for g := 0; g < groups; {
+		tpl, run := runAt(g)
+		dst = append(dst, uint8(run-1)<<4|tpl)
+		g += run
+	}
+	for i := 0; i < n; i++ {
+		if pix[2*i+1] != 0 {
+			dst = append(dst, pix[2*i], pix[2*i+1])
+		}
+	}
+	return dst
+}
+
+// refTRLEDecodeInto is the per-pixel TRLE decoder.
+func refTRLEDecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
+	ncodes, hn := binary.Uvarint(enc)
+	if hn <= 0 {
+		return nil, fmt.Errorf("%w: TRLE header", ErrCorrupt)
+	}
+	if uint64(len(enc)-hn) < ncodes {
+		return nil, fmt.Errorf("%w: TRLE stream truncated", ErrCorrupt)
+	}
+	codes := enc[hn : hn+int(ncodes)]
+	payload := enc[hn+int(ncodes):]
+
+	out := grow(dst, npix*raster.BytesPerPixel)
+	clear(out)
+	i := 0
+	p := 0
+	for _, c := range codes {
+		tpl := c & 0x0F
+		reps := int(c>>4) + 1
+		for rep := 0; rep < reps; rep++ {
+			for j := 0; j < templatePixels; j++ {
+				set := tpl&(1<<(templatePixels-1-j)) != 0
+				if i >= npix {
+					if set {
+						return nil, fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+					}
+					continue
+				}
+				if set {
+					if p+2 > len(payload) {
+						return nil, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+					}
+					out[2*i], out[2*i+1] = payload[p], payload[p+1]
+					if out[2*i+1] == 0 {
+						return nil, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+					}
+					p += 2
+				}
+				i++
+			}
+		}
+	}
+	if i < npix {
+		return nil, fmt.Errorf("%w: TRLE codes cover %d pixels, want %d", ErrCorrupt, i, npix)
+	}
+	if p != len(payload) {
+		return nil, fmt.Errorf("%w: TRLE payload has %d leftover bytes", ErrCorrupt, len(payload)-p)
+	}
+	return out, nil
+}
+
+// refEncodeMaskTRLE is the At-based 2x2 mask encoder.
+func refEncodeMaskTRLE(m *Mask) []uint8 {
+	var templates []uint8
+	for y := 0; y < m.H; y += 2 {
+		for x := 0; x < m.W; x += 2 {
+			templates = append(templates, m.Template(x, y))
+		}
+	}
+	var codes []uint8
+	for i := 0; i < len(templates); {
+		tpl := templates[i]
+		run := 1
+		for i+run < len(templates) && run < 16 && templates[i+run] == tpl {
+			run++
+		}
+		codes = append(codes, uint8(run-1)<<4|tpl)
+		i += run
+	}
+	return codes
+}

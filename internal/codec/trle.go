@@ -3,7 +3,10 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
+	"rtcomp/internal/bufpool"
+	"rtcomp/internal/compose"
 	"rtcomp/internal/raster"
 )
 
@@ -34,54 +37,87 @@ func (TRLE) Encode(pix []uint8) []uint8 {
 	return TRLE{}.EncodeAppend(make([]uint8, 0, len(pix)/4+8), pix)
 }
 
-// EncodeAppend implements Codec. The template stream is walked twice — once
-// to count codes for the uvarint header, once to emit them — trading a
-// second cheap pass for zero intermediate slices.
+// EncodeAppend implements Codec. Template classification is word-wide: one
+// 64-bit load covers exactly one template group (four pixels), whose
+// non-blank nibble falls out of three masked adds (see words.go); the
+// classified stream lands in a pooled scratch buffer, the run coder walks
+// it eight templates per load, and the payload pass walks that same
+// template stream — an eighth of the pixel data — emitting all-set
+// stretches as bulk copies instead of a byte-pair append per pixel. Output
+// is byte-identical to the scalar two-pass encoder.
 func (TRLE) EncodeAppend(dst, pix []uint8) []uint8 {
 	if len(pix)%raster.BytesPerPixel != 0 {
 		panic("codec: TRLE.Encode on odd-length pixel block")
 	}
 	n := len(pix) / raster.BytesPerPixel
 	groups := (n + templatePixels - 1) / templatePixels
+	if groups == 0 {
+		return binary.AppendUvarint(dst, 0)
+	}
 
-	// Template of one group (bit 3 = first pixel ... bit 0 = fourth).
-	tplAt := func(g int) uint8 {
+	// Classify every group. All full groups are single word loads; only a
+	// trailing partial group (block not a multiple of four pixels) walks
+	// its pixels one by one.
+	tpls := bufpool.Get(groups)
+	g := 0
+	for ; 8*g+8 <= len(pix); g++ {
+		tpls[g] = rev4[nonBlankNibble(binary.LittleEndian.Uint64(pix[8*g:]))]
+	}
+	for ; g < groups; g++ {
 		var tpl uint8
 		for j := 0; j < templatePixels; j++ {
-			i := g*templatePixels + j
-			if i < n && pix[2*i+1] != 0 {
+			if i := g*templatePixels + j; i < n && pix[2*i+1] != 0 {
 				tpl |= 1 << (templatePixels - 1 - j)
 			}
 		}
-		return tpl
-	}
-	// runAt is one step of the template run-length coding (<=16 per code).
-	runAt := func(g int) (tpl uint8, run int) {
-		tpl = tplAt(g)
-		run = 1
-		for g+run < groups && run < 16 && tplAt(g+run) == tpl {
-			run++
-		}
-		return tpl, run
+		tpls[g] = tpl
 	}
 
 	ncodes := 0
-	for g := 0; g < groups; {
-		_, run := runAt(g)
+	for i := 0; i < groups; {
+		limit := i + 16
+		if limit > groups {
+			limit = groups
+		}
 		ncodes++
-		g += run
+		i += byteRunLen(tpls, i, limit)
 	}
 	dst = binary.AppendUvarint(dst, uint64(ncodes))
+	for i := 0; i < groups; {
+		limit := i + 16
+		if limit > groups {
+			limit = groups
+		}
+		run := byteRunLen(tpls, i, limit)
+		dst = append(dst, uint8(run-1)<<4|tpls[i])
+		i += run
+	}
+
+	// Payload: the template stream already holds the block's blank
+	// structure, so the payload pass walks it instead of rescanning pixel
+	// words — an eighth of the data. All-set stretches bulk-copy (an all-set
+	// template implies a full group, so the copy cannot overrun a trailing
+	// partial group); mixed templates pick their set pixels bit by bit.
 	for g := 0; g < groups; {
-		tpl, run := runAt(g)
-		dst = append(dst, uint8(run-1)<<4|tpl)
+		t := tpls[g]
+		run := byteRunLen(tpls, g, groups)
+		switch {
+		case t == 0:
+		case t == 0x0F:
+			dst = append(dst, pix[g*templatePixels*raster.BytesPerPixel:(g+run)*templatePixels*raster.BytesPerPixel]...)
+		default:
+			for gg := g; gg < g+run; gg++ {
+				for j := 0; j < templatePixels; j++ {
+					if t&(1<<(templatePixels-1-j)) != 0 {
+						p := gg*templatePixels + j
+						dst = append(dst, pix[2*p], pix[2*p+1])
+					}
+				}
+			}
+		}
 		g += run
 	}
-	for i := 0; i < n; i++ {
-		if pix[2*i+1] != 0 {
-			dst = append(dst, pix[2*i], pix[2*i+1])
-		}
-	}
+	bufpool.Put(tpls)
 	return dst
 }
 
@@ -90,7 +126,13 @@ func (TRLE) Decode(enc []uint8, npix int) ([]uint8, error) {
 	return TRLE{}.DecodeInto(nil, enc, npix)
 }
 
-// DecodeInto implements Codec.
+// DecodeInto implements Codec. The two dominant code classes take bulk
+// paths — all-blank templates advance the pixel cursor without touching the
+// (pre-cleared) output, all-set template runs that fit the block bulk-copy
+// their payload after one word-wide alpha validation — and only boundary or
+// mixed-template groups walk pixels individually, with semantics (including
+// error cases: truncation, underflow, blank payload pixels, non-blank
+// pixels beyond the block) identical to the scalar decoder.
 func (TRLE) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 	ncodes, hn := binary.Uvarint(enc)
 	if hn <= 0 {
@@ -111,26 +153,49 @@ func (TRLE) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 	for _, c := range codes {
 		tpl := c & 0x0F
 		reps := int(c>>4) + 1
-		for rep := 0; rep < reps; rep++ {
-			for j := 0; j < templatePixels; j++ {
-				set := tpl&(1<<(templatePixels-1-j)) != 0
-				if i >= npix {
+		switch {
+		case tpl == 0:
+			// Blank groups never write; pixels past the block are legal for
+			// blank templates (odd-sized blocks pad with blanks), so the
+			// cursor saturates at npix exactly as the scalar walk did.
+			i += templatePixels * reps
+			if i > npix {
+				i = npix
+			}
+		case tpl == 0x0F && i+templatePixels*reps <= npix:
+			k := templatePixels * reps
+			if p+2*k > len(payload) {
+				return nil, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+			}
+			seg := payload[p : p+2*k]
+			if !allAlphasNonZero(seg) {
+				return nil, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+			}
+			copy(out[2*i:], seg)
+			i += k
+			p += 2 * k
+		default:
+			for rep := 0; rep < reps; rep++ {
+				for j := 0; j < templatePixels; j++ {
+					set := tpl&(1<<(templatePixels-1-j)) != 0
+					if i >= npix {
+						if set {
+							return nil, fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+						}
+						continue
+					}
 					if set {
-						return nil, fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+						if p+2 > len(payload) {
+							return nil, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+						}
+						out[2*i], out[2*i+1] = payload[p], payload[p+1]
+						if out[2*i+1] == 0 {
+							return nil, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+						}
+						p += 2
 					}
-					continue
+					i++
 				}
-				if set {
-					if p+2 > len(payload) {
-						return nil, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
-					}
-					out[2*i], out[2*i+1] = payload[p], payload[p+1]
-					if out[2*i+1] == 0 {
-						return nil, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
-					}
-					p += 2
-				}
-				i++
 			}
 		}
 	}
@@ -141,4 +206,187 @@ func (TRLE) DecodeInto(dst, enc []uint8, npix int) ([]uint8, error) {
 		return nil, fmt.Errorf("%w: TRLE payload has %d leftover bytes", ErrCorrupt, len(payload)-p)
 	}
 	return out, nil
+}
+
+// CheckStream implements OverDecoder: it validates enc as a TRLE stream of
+// exactly npix pixels without producing them. Pixel accounting runs a code
+// at a time (a popcount per code instead of a branch per pixel); only a
+// group straddling the block end walks its template bits. Every DecodeInto
+// error case is detected: header damage, code/payload truncation, non-blank
+// pixels beyond the block, underflow, leftover payload, blank payload
+// pixels.
+func (TRLE) CheckStream(enc []uint8, npix int) error {
+	ncodes, hn := binary.Uvarint(enc)
+	if hn <= 0 {
+		return fmt.Errorf("%w: TRLE header", ErrCorrupt)
+	}
+	if uint64(len(enc)-hn) < ncodes {
+		return fmt.Errorf("%w: TRLE stream truncated", ErrCorrupt)
+	}
+	codes := enc[hn : hn+int(ncodes)]
+	payload := enc[hn+int(ncodes):]
+	i, setb := 0, 0
+	for _, c := range codes {
+		tpl := c & 0x0F
+		reps := int(c>>4) + 1
+		pop := bits.OnesCount8(tpl)
+		if i+templatePixels*reps <= npix {
+			i += templatePixels * reps
+			setb += pop * reps
+			continue
+		}
+		if tpl == 0 {
+			i = npix // blank groups saturate legally
+			continue
+		}
+		for rep := 0; rep < reps; rep++ {
+			if i+templatePixels <= npix {
+				i += templatePixels
+				setb += pop
+				continue
+			}
+			for j := 0; j < templatePixels; j++ {
+				set := tpl&(1<<(templatePixels-1-j)) != 0
+				if i >= npix {
+					if set {
+						return fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+					}
+					continue
+				}
+				if set {
+					setb++
+				}
+				i++
+			}
+		}
+	}
+	if i < npix {
+		return fmt.Errorf("%w: TRLE codes cover %d pixels, want %d", ErrCorrupt, i, npix)
+	}
+	if len(payload) < 2*setb {
+		return fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+	}
+	if len(payload) > 2*setb {
+		return fmt.Errorf("%w: TRLE payload has %d leftover bytes", ErrCorrupt, len(payload)-2*setb)
+	}
+	if !allAlphasNonZero(payload) {
+		return fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+	}
+	return nil
+}
+
+// DecodeOver implements OverDecoder: it composites the encoded block with
+// dst in place without materializing the decoded pixels. When encFront is
+// true the encoded block is the front layer (decoded over dst); otherwise
+// dst is the front over the decoded block. Blank-template runs cost nothing
+// on the front path and a word-wide canonicalisation on the back path
+// (decoded blanks are canonical (0,0) pixels, which a blank dst pixel must
+// adopt); all-set template runs feed their payload straight into the
+// word-wide OverU8 against the matching dst segment. dst must hold exactly
+// npix pixels. Streams must pass CheckStream first; a mangled stream still
+// returns ErrCorrupt but may leave dst partially composited. On success it
+// returns npix — the same over-pixel count the decode-then-OverU8 path
+// reports.
+func (TRLE) DecodeOver(dst, enc []uint8, npix int, encFront bool) (int, error) {
+	if len(dst) != npix*raster.BytesPerPixel {
+		panic("codec: TRLE.DecodeOver dst length mismatch")
+	}
+	ncodes, hn := binary.Uvarint(enc)
+	if hn <= 0 {
+		return 0, fmt.Errorf("%w: TRLE header", ErrCorrupt)
+	}
+	if uint64(len(enc)-hn) < ncodes {
+		return 0, fmt.Errorf("%w: TRLE stream truncated", ErrCorrupt)
+	}
+	codes := enc[hn : hn+int(ncodes)]
+	payload := enc[hn+int(ncodes):]
+	i := 0 // pixel cursor
+	p := 0 // payload cursor
+	pixels := 0
+	for _, c := range codes {
+		tpl := c & 0x0F
+		reps := int(c>>4) + 1
+		switch {
+		case tpl == 0:
+			end := i + templatePixels*reps
+			if end > npix {
+				end = npix
+			}
+			if !encFront {
+				compose.OverU8Runs(dst, []compose.Run{{Off: i, N: end - i}}, false)
+			}
+			pixels += end - i
+			i = end
+		case tpl == 0x0F && i+templatePixels*reps <= npix:
+			k := templatePixels * reps
+			if p+2*k > len(payload) {
+				return pixels, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+			}
+			seg := payload[p : p+2*k]
+			if !allAlphasNonZero(seg) {
+				return pixels, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+			}
+			dseg := dst[2*i : 2*(i+k)]
+			if encFront {
+				compose.OverU8(dseg, seg, dseg)
+			} else {
+				compose.OverU8(dseg, dseg, seg)
+			}
+			pixels += k
+			i += k
+			p += 2 * k
+		default:
+			for rep := 0; rep < reps; rep++ {
+				for j := 0; j < templatePixels; j++ {
+					set := tpl&(1<<(templatePixels-1-j)) != 0
+					if i >= npix {
+						if set {
+							return pixels, fmt.Errorf("%w: TRLE non-blank pixel beyond block", ErrCorrupt)
+						}
+						continue
+					}
+					if set {
+						if p+2 > len(payload) {
+							return pixels, fmt.Errorf("%w: TRLE payload truncated", ErrCorrupt)
+						}
+						pv, pa := payload[p], payload[p+1]
+						if pa == 0 {
+							return pixels, fmt.Errorf("%w: TRLE blank pixel in payload", ErrCorrupt)
+						}
+						// The fa switch is written out (OverPixel is over the
+						// inlining budget; OverBlend is not).
+						if encFront {
+							if pa == 255 {
+								dst[2*i], dst[2*i+1] = pv, pa
+							} else {
+								dst[2*i], dst[2*i+1] = compose.OverBlend(pv, pa, dst[2*i], dst[2*i+1])
+							}
+						} else {
+							switch fa := dst[2*i+1]; fa {
+							case 255:
+							case 0:
+								dst[2*i], dst[2*i+1] = pv, pa
+							default:
+								dst[2*i], dst[2*i+1] = compose.OverBlend(dst[2*i], fa, pv, pa)
+							}
+						}
+						p += 2
+					} else if !encFront && dst[2*i+1] == 0 {
+						// A decoded blank back pixel is canonical (0,0); a
+						// blank dst front pixel passes it through verbatim.
+						dst[2*i] = 0
+					}
+					pixels++
+					i++
+				}
+			}
+		}
+	}
+	if i < npix {
+		return pixels, fmt.Errorf("%w: TRLE codes cover %d pixels, want %d", ErrCorrupt, i, npix)
+	}
+	if p != len(payload) {
+		return pixels, fmt.Errorf("%w: TRLE payload has %d leftover bytes", ErrCorrupt, len(payload)-p)
+	}
+	return pixels, nil
 }

@@ -1,0 +1,139 @@
+package codec
+
+// Word-wide scanning primitives shared by the codecs. A value+alpha pixel is
+// two bytes, so one little-endian uint64 load covers four pixels with the
+// alpha bytes in the odd lanes. Blank/non-blank classification, run-length
+// detection and template extraction all reduce to a handful of masked
+// integer operations per four (or, for byte streams, eight) elements,
+// replacing the per-pixel bounds-checked branches of the scalar encoders.
+// DESIGN.md §14 documents the layout and the identities below.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	// alphaLanes selects the four alpha bytes of a four-pixel word.
+	alphaLanes = uint64(0xFF00FF00FF00FF00)
+	// loBytes selects the low byte of each 16-bit lane (after shifting the
+	// alphas down into it).
+	loBytes = uint64(0x00FF00FF00FF00FF)
+	// carryBits is where an alpha byte's non-zeroness lands after the
+	// carry trick below: bit 8 of each 16-bit lane.
+	carryBits = uint64(0x0100010001000100)
+)
+
+// nonBlankNibble classifies the four pixels of a little-endian word load:
+// bit j of the result is set when pixel j (lowest address first) has a
+// non-zero alpha. The carry trick: with each alpha isolated in the low byte
+// of its 16-bit lane, adding 0x00FF per lane carries into bit 8 exactly
+// when the alpha is non-zero, and lanes cannot carry into each other
+// because the high bytes are zero.
+func nonBlankNibble(w uint64) uint8 {
+	a := (w >> 8) & loBytes
+	nz := (a + loBytes) & carryBits
+	return uint8(nz>>8&1 | nz>>23&2 | nz>>38&4 | nz>>53&8)
+}
+
+// rev4 reverses the bits of a 4-bit value: nonBlankNibble's bit 0 is the
+// first (lowest-address) pixel, while a TRLE template's bit 3 is.
+var rev4 = [16]uint8{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+// hasZeroLane16 reports whether any 16-bit lane of x is zero — the lane
+// analogue of the classic has-zero-byte trick. Cross-lane borrows can set a
+// spurious high bit, but only above a lane that really is zero, so the
+// boolean answer is exact.
+func hasZeroLane16(x uint64) bool {
+	const (
+		loLanes = uint64(0x0001000100010001)
+		hiLanes = uint64(0x8000800080008000)
+	)
+	return (x-loLanes) & ^x & hiLanes != 0
+}
+
+// pixelRunLen returns the length of the run of pixels identical to pixel i
+// in pix (value+alpha interleaved), scanning at most to pixel limit. It
+// compares four pixels per load: XOR against the broadcast pattern zeroes
+// matching 16-bit lanes, so the first mismatch is the lowest non-zero lane.
+func pixelRunLen(pix []uint8, i, limit int) int {
+	pat := broadcastPixel(pix[2*i], pix[2*i+1])
+	j := i
+	for j+4 <= limit {
+		x := binary.LittleEndian.Uint64(pix[2*j:]) ^ pat
+		if x != 0 {
+			j += bits.TrailingZeros64(x) / 16
+			if j > limit {
+				j = limit
+			}
+			return j - i
+		}
+		j += 4
+	}
+	for j < limit && pix[2*j] == pix[2*i] && pix[2*j+1] == pix[2*i+1] {
+		j++
+	}
+	return j - i
+}
+
+// allAlphasNonZero reports whether every pixel of the interleaved block has
+// a non-zero alpha byte — the payload validity invariant of TRLE streams.
+// pix must have even length.
+func allAlphasNonZero(pix []uint8) bool {
+	i := 0
+	for ; i+8 <= len(pix); i += 8 {
+		a := (binary.LittleEndian.Uint64(pix[i:]) >> 8) & loBytes
+		if (a+loBytes)&carryBits != carryBits {
+			return false
+		}
+	}
+	for ; i < len(pix); i += 2 {
+		if pix[i+1] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastPixel replicates one (value, alpha) pixel across a 64-bit word.
+func broadcastPixel(v, a uint8) uint64 {
+	p := uint64(v) | uint64(a)<<8
+	p |= p << 16
+	return p | p<<32
+}
+
+// fillPixelRun stores the (v, a) pixel into every pixel of dst, eight bytes
+// at a time. dst must have even length.
+func fillPixelRun(dst []uint8, v, a uint8) {
+	pat := broadcastPixel(v, a)
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], pat)
+	}
+	for ; i < len(dst); i += 2 {
+		dst[i], dst[i+1] = v, a
+	}
+}
+
+// byteRunLen returns the length of the run of bytes identical to b[i],
+// scanning at most to index limit — the template-stream analogue of
+// pixelRunLen, eight elements per load.
+func byteRunLen(b []uint8, i, limit int) int {
+	pat := uint64(b[i]) * 0x0101010101010101
+	j := i
+	for j+8 <= limit {
+		x := binary.LittleEndian.Uint64(b[j:]) ^ pat
+		if x != 0 {
+			j += bits.TrailingZeros64(x) / 8
+			if j > limit {
+				j = limit
+			}
+			return j - i
+		}
+		j += 8
+	}
+	for j < limit && b[j] == b[i] {
+		j++
+	}
+	return j - i
+}

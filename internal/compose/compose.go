@@ -8,6 +8,7 @@
 package compose
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"rtcomp/internal/raster"
@@ -26,6 +27,47 @@ func (s *Stats) Add(other Stats) {
 	s.Calls += other.Calls
 }
 
+// Word-wide masks over four interleaved value+alpha pixels viewed as one
+// little-endian uint64: alphaLanes selects the four alpha bytes, opaqueWord
+// is what alphaLanes reads when all four pixels are fully opaque.
+const (
+	alphaLanes = uint64(0xFF00FF00FF00FF00)
+	opaqueWord = alphaLanes
+)
+
+// OverBlend is the blended branch of the over operator for one pixel with
+// 0 < fa < 255, in 16-bit fixed point; +127 and +ca/2 round to nearest.
+// Every kernel in this package (and the codecs' fused decode+over kernels)
+// funnels partial-alpha pixels through this one function, which is what
+// makes their outputs byte-identical by construction. It is exported —
+// unlike OverPixel it fits the inlining budget, so hot loops outside the
+// package write the fa switch out and call it directly.
+func OverBlend(fv, fa, bv, ba uint8) (v, a uint8) {
+	inv := uint32(255 - fa)
+	ca := uint32(fa)*255 + inv*uint32(ba)
+	cv := uint32(fv)*uint32(fa)*255 + inv*uint32(ba)*uint32(bv)
+	ao := (ca + 127) / 255
+	var vo uint32
+	if ca > 0 {
+		vo = (cv + ca/2) / ca
+	}
+	return uint8(vo), uint8(ao)
+}
+
+// OverPixel composites one front pixel over one back pixel, with the exact
+// semantics of OverU8 including its short-circuits: an opaque front wins, a
+// blank front passes the back through verbatim (even a non-canonical blank).
+func OverPixel(fv, fa, bv, ba uint8) (v, a uint8) {
+	switch fa {
+	case 255:
+		return fv, fa
+	case 0:
+		return bv, ba
+	default:
+		return OverBlend(fv, fa, bv, ba)
+	}
+}
+
 // OverU8 composites front over back, writing the result into dst. All three
 // slices must have the same even length (value+alpha interleaved); dst may
 // alias front or back. It returns the number of pixels processed.
@@ -34,12 +76,44 @@ func (s *Stats) Add(other Stats) {
 // out.v is the alpha-weighted blend. Fully opaque and fully blank front
 // pixels short-circuit, which also makes the operator exactly associative
 // whenever every alpha is 0 or 255.
+//
+// The kernel runs four pixels per iteration: one 64-bit load classifies the
+// front word, and the two overwhelmingly common classes — all four front
+// pixels opaque, all four blank — resolve with a single word store. Mixed
+// words fall back to the per-pixel operator, so the output is byte-identical
+// to a pixel-at-a-time walk.
 func OverU8(dst, front, back []uint8) int {
 	if len(front) != len(back) || len(dst) != len(front) || len(front)%raster.BytesPerPixel != 0 {
 		panic(fmt.Sprintf("compose: OverU8 length mismatch dst=%d front=%d back=%d",
 			len(dst), len(front), len(back)))
 	}
-	for i := 0; i < len(front); i += raster.BytesPerPixel {
+	n := len(front)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		fw := binary.LittleEndian.Uint64(front[i:])
+		switch fw & alphaLanes {
+		case opaqueWord:
+			binary.LittleEndian.PutUint64(dst[i:], fw)
+		case 0:
+			binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(back[i:]))
+		default:
+			// The per-pixel switch is written out (not a call to OverPixel,
+			// which is over the inlining budget): a call per mixed pixel
+			// costs more than the blend itself.
+			for k := i; k < i+8; k += raster.BytesPerPixel {
+				fv, fa := front[k], front[k+1]
+				switch fa {
+				case 255:
+					dst[k], dst[k+1] = fv, fa
+				case 0:
+					dst[k], dst[k+1] = back[k], back[k+1]
+				default:
+					dst[k], dst[k+1] = OverBlend(fv, fa, back[k], back[k+1])
+				}
+			}
+		}
+	}
+	for ; i < n; i += raster.BytesPerPixel {
 		fv, fa := front[i], front[i+1]
 		switch fa {
 		case 255:
@@ -47,20 +121,10 @@ func OverU8(dst, front, back []uint8) int {
 		case 0:
 			dst[i], dst[i+1] = back[i], back[i+1]
 		default:
-			bv, ba := back[i], back[i+1]
-			// Work in 16-bit fixed point; +127 rounds to nearest.
-			inv := uint32(255 - fa)
-			ca := uint32(fa)*255 + inv*uint32(ba)
-			cv := uint32(fv)*uint32(fa)*255 + inv*uint32(ba)*uint32(bv)
-			a := (ca + 127) / 255
-			var v uint32
-			if ca > 0 {
-				v = (cv + ca/2) / ca
-			}
-			dst[i], dst[i+1] = uint8(v), uint8(a)
+			dst[i], dst[i+1] = OverBlend(fv, fa, back[i], back[i+1])
 		}
 	}
-	return len(front) / raster.BytesPerPixel
+	return n / raster.BytesPerPixel
 }
 
 // OverImage composites front over back in place on back's pixels, i.e.
@@ -91,14 +155,28 @@ func SerialComposite(layers []*raster.Image) *raster.Image {
 
 // FOverPixel is the float64 reference for a single pixel over operation on
 // straight-alpha values in [0,255]. Used to bound quantisation error.
+//
+// It evaluates the over operator as one fused rational,
+//
+//	v = (fv·fa·255 + bv·ba·(255-fa)) / (fa·255 + ba·(255-fa))
+//	a = (fa·255 + ba·(255-fa)) / 255
+//
+// rather than dividing each term by 255 first. For integer inputs every
+// product above is an integer below 2^53, so numerator and denominator are
+// exact in float64 and the quotient is correctly rounded — the earlier
+// per-term form drifted by ±1 at rounding ties (e.g. low-alpha blends whose
+// exact value channel lands on x.5), which made the float path disagree
+// with OverU8's exact round-half-up integer arithmetic. With the fused form
+// the quantised reference matches OverU8 exactly on canonical pixels; the
+// agreement test in agreement_test.go pins that.
 func FOverPixel(fv, fa, bv, ba float64) (v, a float64) {
-	fA, bA := fa/255, ba/255
-	outA := fA + bA*(1-fA)
-	if outA == 0 {
+	inv := 255 - fa
+	ca := fa*255 + inv*ba
+	if ca == 0 {
 		return 0, 0
 	}
-	outV := (fv*fA + bv*bA*(1-fA)) / outA
-	return outV, outA * 255
+	v = (fv*fa*255 + inv*ba*bv) / ca
+	return v, ca / 255
 }
 
 // SerialCompositeF folds layers front-to-back entirely in float64 and

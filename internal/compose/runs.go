@@ -1,0 +1,118 @@
+package compose
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rtcomp/internal/raster"
+)
+
+// Run is a run of identical (value, alpha) pixels at a pixel offset inside a
+// block — the unit the RLE-family codecs produce. Off and N count pixels,
+// not bytes.
+type Run struct {
+	Off, N int
+	V, A   uint8
+}
+
+// OverU8Runs composites constant-pixel runs with dst in place and returns
+// the number of pixels passed through the over operator (the summed run
+// lengths). When runsFront is true each run acts as the front layer (run
+// over dst); otherwise dst is the front and the runs are the back layer.
+// Pixels of dst outside every run are untouched — which is what lets a
+// fused decoder composite an encoded fragment without ever materializing
+// the decoded scanlines: RLE's receive path walks the stream and feeds the
+// runs straight here.
+//
+// Per-pixel results are byte-identical to decoding the runs into a scratch
+// block and calling OverU8: both funnel partial-alpha pixels through
+// OverBlend and share the same short-circuits.
+func OverU8Runs(dst []uint8, runs []Run, runsFront bool) int {
+	pixels := 0
+	for _, r := range runs {
+		if r.N < 0 || r.Off < 0 || (r.Off+r.N)*raster.BytesPerPixel > len(dst) {
+			panic(fmt.Sprintf("compose: OverU8Runs run [%d,%d) outside %d-byte block",
+				r.Off, r.Off+r.N, len(dst)))
+		}
+		seg := dst[r.Off*raster.BytesPerPixel : (r.Off+r.N)*raster.BytesPerPixel]
+		if runsFront {
+			overRunFront(seg, r.V, r.A)
+		} else {
+			overRunBack(seg, r.V, r.A)
+		}
+		pixels += r.N
+	}
+	return pixels
+}
+
+// overRunFront composites a constant front pixel over every pixel of dst.
+func overRunFront(dst []uint8, v, a uint8) {
+	switch a {
+	case 0:
+		// Blank front: the back (dst) wins everywhere, even when the run
+		// carries a non-canonical value byte.
+	case 255:
+		FillPixels(dst, v, a)
+	default:
+		for i := 0; i+raster.BytesPerPixel <= len(dst); i += raster.BytesPerPixel {
+			dst[i], dst[i+1] = OverBlend(v, a, dst[i], dst[i+1])
+		}
+	}
+}
+
+// overRunBack composites every pixel of dst (the front) over a constant
+// back pixel, in place. Like OverU8 it classifies four front pixels per
+// 64-bit load: an all-opaque word is untouched, an all-blank word becomes
+// four copies of the back pixel, and mixed words take the per-pixel path.
+func overRunBack(dst []uint8, v, a uint8) {
+	pat := pixelWord(v, a)
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		fw := binary.LittleEndian.Uint64(dst[i:])
+		switch fw & alphaLanes {
+		case opaqueWord:
+		case 0:
+			binary.LittleEndian.PutUint64(dst[i:], pat)
+		default:
+			for k := i; k < i+8; k += raster.BytesPerPixel {
+				switch fa := dst[k+1]; fa {
+				case 255:
+				case 0:
+					dst[k], dst[k+1] = v, a
+				default:
+					dst[k], dst[k+1] = OverBlend(dst[k], fa, v, a)
+				}
+			}
+		}
+	}
+	for ; i < len(dst); i += raster.BytesPerPixel {
+		switch fa := dst[i+1]; fa {
+		case 255:
+		case 0:
+			dst[i], dst[i+1] = v, a
+		default:
+			dst[i], dst[i+1] = OverBlend(dst[i], fa, v, a)
+		}
+	}
+}
+
+// pixelWord broadcasts one (value, alpha) pixel across a little-endian
+// 64-bit word of four pixels.
+func pixelWord(v, a uint8) uint64 {
+	p := uint64(v) | uint64(a)<<8
+	p |= p << 16
+	return p | p<<32
+}
+
+// FillPixels stores the (v, a) pixel into every pixel of dst, eight bytes
+// at a time. dst must have even length.
+func FillPixels(dst []uint8, v, a uint8) {
+	pat := pixelWord(v, a)
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], pat)
+	}
+	for ; i < len(dst); i += raster.BytesPerPixel {
+		dst[i], dst[i+1] = v, a
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rtcomp/internal/bufpool"
@@ -469,15 +470,24 @@ func dropFailedPeer(err error, pending map[comm.MsgKey]schedule.Transfer, keys *
 // step loop re-slices these instead of allocating per message, so after the
 // first step warms them a steady-state step allocates nothing.
 type runScratch struct {
-	enc     []byte                            // assembled outgoing block message
-	fragEnc []byte                            // single-fragment codec output
-	dec     []fragstore.Fragment              // decoded-fragment list
-	keys    []comm.MsgKey                     // pending receive keys
-	pending map[comm.MsgKey]schedule.Transfer // pending transfers, cleared per step
+	enc      []byte                            // assembled outgoing block message
+	fragEnc  []byte                            // single-fragment codec output
+	encFrags []fragstore.EncodedFragment       // parsed-but-undecoded fragment views
+	keys     []comm.MsgKey                     // pending receive keys
+	pending  map[comm.MsgKey]schedule.Transfer // pending transfers, cleared per step
+}
+
+// scratchPool recycles runScratch shells (struct, pending map, slice
+// headers) across runs and across the pipelined executor's workers. The
+// pooled byte buffers inside go back to bufpool on release; the shell
+// itself would otherwise be allocated once per worker per composition,
+// which the allocation benchmarks count against every pipelined cell.
+var scratchPool = sync.Pool{
+	New: func() any { return &runScratch{pending: map[comm.MsgKey]schedule.Transfer{}} },
 }
 
 func newRunScratch() *runScratch {
-	return &runScratch{pending: map[comm.MsgKey]schedule.Transfer{}}
+	return scratchPool.Get().(*runScratch)
 }
 
 // reserveEnc returns an empty slice with at least `need` capacity for the
@@ -492,12 +502,17 @@ func (scr *runScratch) reserveEnc(need int) []byte {
 	return scr.enc[:0]
 }
 
-// release returns the scratch's pooled buffers; the scratch warms up again
-// on next use. Call when a composition run completes.
+// release returns the scratch's pooled buffers to bufpool and the scratch
+// shell to its own pool; the scratch warms up again on next use. Call when
+// a composition run completes — the caller must not touch scr afterwards.
 func (scr *runScratch) release() {
 	bufpool.Put(scr.enc[:0])
 	bufpool.Put(scr.fragEnc[:0])
 	scr.enc, scr.fragEnc = nil, nil
+	scr.keys = scr.keys[:0]
+	scr.encFrags = scr.encFrags[:0]
+	clear(scr.pending)
+	scratchPool.Put(scr)
 }
 
 // encBound over-estimates the encoded size of a fragment's pixels: every
@@ -634,22 +649,59 @@ func send(c comm.Comm, st *fragstore.Store, cdc codec.Codec, rep *Report, tel *t
 	return err
 }
 
+// parseEncodedFragments walks a block message's envelope — uvarint(count),
+// then per fragment uvarint(lo), uvarint(hi), uvarint(len(enc)), enc —
+// without decoding any pixels. The returned fragments alias payload, so the
+// caller must not recycle payload until it is done with them. All failures
+// wrap codec.ErrCorrupt.
+func parseEncodedFragments(dst []fragstore.EncodedFragment, payload []byte) ([]fragstore.EncodedFragment, error) {
+	nfrags, off := binary.Uvarint(payload)
+	if off <= 0 {
+		return nil, fmt.Errorf("compositor: %w: block message header", codec.ErrCorrupt)
+	}
+	rest := payload[off:]
+	for i := uint64(0); i < nfrags; i++ {
+		var vals [3]uint64
+		for j := range vals {
+			v, k := binary.Uvarint(rest)
+			if k <= 0 {
+				return nil, fmt.Errorf("compositor: %w: fragment header", codec.ErrCorrupt)
+			}
+			vals[j], rest = v, rest[k:]
+		}
+		n := vals[2]
+		if uint64(len(rest)) < n {
+			return nil, fmt.Errorf("compositor: %w: fragment length", codec.ErrCorrupt)
+		}
+		dst = append(dst, fragstore.EncodedFragment{
+			Rng: schedule.RankRange{Lo: int(vals[0]), Hi: int(vals[1])},
+			Enc: rest[:n:n],
+		})
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("compositor: %w: %d trailing bytes in block message", codec.ErrCorrupt, len(rest))
+	}
+	return dst, nil
+}
+
 func merge(st *fragstore.Store, cdc codec.Codec, rep *Report, tel *telemetry.Recorder, step int, tr schedule.Transfer, payload []byte, scr *runScratch) error {
 	endDec := tel.Span(rep.Rank, telemetry.PhaseDecode, telemetry.CatCompute, step)
-	incoming, err := DecodeFragmentsInto(scr.dec[:0], payload, cdc, st.Span(tr.Block).Len())
+	incoming, err := parseEncodedFragments(scr.encFrags[:0], payload)
 	endDec()
-	// Decoded fragments never alias the wire payload, so the fabric's
-	// receive buffer recycles here — on the corrupt path too.
+	if err != nil {
+		bufpool.Put(payload)
+		return fmt.Errorf("block %v from rank %d: %w", tr.Block, tr.From, err)
+	}
+	scr.encFrags = incoming[:0]
+	endMerge := tel.Span(rep.Rank, telemetry.PhaseMerge, telemetry.CatCompute, step)
+	overPix, err := st.MergeEncoded(tr.Block, incoming, cdc)
+	endMerge()
+	// MergeEncoded never retains views into the wire payload, so the
+	// fabric's receive buffer recycles here — on the corrupt path too.
 	bufpool.Put(payload)
 	if err != nil {
 		return fmt.Errorf("block %v from rank %d: %w", tr.Block, tr.From, err)
-	}
-	scr.dec = incoming[:0]
-	endMerge := tel.Span(rep.Rank, telemetry.PhaseMerge, telemetry.CatCompute, step)
-	overPix, err := st.Merge(tr.Block, incoming)
-	endMerge()
-	if err != nil {
-		return err
 	}
 	rep.OverPixels += overPix
 	tel.AddStep(rep.Rank, step, telemetry.CtrOverPixels, overPix)

@@ -464,7 +464,7 @@ func (pr *pipeRun) runTile(w *pipeWorker, t int) error {
 	endTile := tel.Span(me, telemetry.PhaseTile, telemetry.CatCompute, t)
 	defer endTile()
 
-	st := fragstore.NewTile(me, pr.sched, pr.local, t)
+	st := fragstore.NewTileShared(me, pr.spans, pr.local, t)
 	handed := false
 	defer func() {
 		if !handed {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -307,7 +308,15 @@ func RenderParallel(cfg Config) (*FrameReport, error) {
 // deadline caps the composition's RecvTimeout (so the frame cannot outlive
 // the request that asked for it), and a cancellation abandons the wait —
 // the worker ranks drain on their own, bounded by those receive deadlines.
+// Deadline reporting does not depend on the runtime delivering the context
+// timer on time: when the deadline capped RecvTimeout, a receive-deadline
+// failure is the request's own deadline manifesting inside the fabric, and
+// any result arriving at or after the wall-clock deadline — the capped
+// receive timer can beat the context timer by a sliver, and a starved timer
+// can leave ctx.Err() nil long past expiry — reports context.DeadlineExceeded.
 func RenderParallelCtx(ctx context.Context, cfg Config) (*FrameReport, error) {
+	var deadline time.Time
+	capped := false
 	if dl, ok := ctx.Deadline(); ok {
 		remain := time.Until(dl)
 		if remain <= 0 {
@@ -315,7 +324,9 @@ func RenderParallelCtx(ctx context.Context, cfg Config) (*FrameReport, error) {
 		}
 		if cfg.RecvTimeout <= 0 || cfg.RecvTimeout > remain {
 			cfg.RecvTimeout = remain
+			capped = true
 		}
+		deadline = dl
 	}
 	type result struct {
 		rep *FrameReport
@@ -328,6 +339,14 @@ func RenderParallelCtx(ctx context.Context, cfg Config) (*FrameReport, error) {
 	}()
 	select {
 	case res := <-ch:
+		if res.err != nil && capped && errors.Is(res.err, comm.ErrDeadline) {
+			return nil, fmt.Errorf("core: render deadline exhausted: %w (%v)",
+				context.DeadlineExceeded, res.err)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("core: render outlived its deadline: %w",
+				context.DeadlineExceeded)
+		}
 		return res.rep, res.err
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"rtcomp/internal/bufpool"
+	"rtcomp/internal/codec"
 	"rtcomp/internal/compose"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
@@ -53,9 +54,17 @@ func New(rank int, sched *schedule.Schedule, local *raster.Image) *Store {
 // The store still knows all tile spans, so Span resolves any block, but it
 // holds (and halves, merges, gathers) blocks of the given tile only.
 func NewTile(rank int, sched *schedule.Schedule, local *raster.Image, tile int) *Store {
+	return NewTileShared(rank, sched.TileSpans(local.NPixels()), local, tile)
+}
+
+// NewTileShared is NewTile with the tile spans precomputed by the caller.
+// The executor builds one span table per run and hands it to every tile's
+// store (stores only ever read it), instead of recomputing and reallocating
+// it once per tile.
+func NewTileShared(rank int, tiles []raster.Span, local *raster.Image, tile int) *Store {
 	st := &Store{
 		rank:  rank,
-		tiles: sched.TileSpans(local.NPixels()),
+		tiles: tiles,
 		held:  map[schedule.Block][]Fragment{},
 	}
 	b := schedule.Block{Tile: tile}
@@ -151,6 +160,128 @@ func (st *Store) Merge(b schedule.Block, incoming []Fragment) (int64, error) {
 		return 0, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
 	}
 	st.held[b] = merged
+	return overPix, nil
+}
+
+// EncodedFragment is a depth range plus its still-encoded pixel block — a
+// view into a received block message that MergeEncoded consumes without
+// decoding into a scratch buffer first.
+type EncodedFragment struct {
+	Rng schedule.RankRange
+	Enc []byte
+}
+
+// MergeEncoded merges still-encoded fragments into a block. When the codec
+// supports the fused receive path (codec.OverDecoder), a fragment that is
+// depth-adjacent to resident holdings is decoded and composited in one pass
+// straight into the resident buffer — the decoded pixels never exist as a
+// block; only depth-isolated fragments are materialized into pooled
+// buffers. Codecs without the fused path decode every fragment and defer
+// to Merge.
+//
+// The composite is byte-identical to decode-everything-then-Merge: incoming
+// fragments are processed in ascending depth order with immediate
+// coalescing on both sides, which reproduces MergeFragments' left-to-right
+// fold exactly (the over operator is only exactly associative for binary
+// alphas, so the fold order is part of the repo-wide byte-identity
+// contract).
+//
+// Every stream is validated up front (CheckStream applies all of
+// DecodeInto's checks), so a corrupt payload returns an error wrapping
+// codec.ErrCorrupt with the store untouched — a degradation policy can
+// drop it like a lost message. The incoming Enc views are never retained;
+// the caller may recycle the underlying message buffer on return.
+func (st *Store) MergeEncoded(b schedule.Block, incoming []EncodedFragment, cdc codec.Codec) (int64, error) {
+	npix := st.Span(b).Len()
+	od, fused := cdc.(codec.OverDecoder)
+	if fused {
+		for _, ef := range incoming {
+			if err := od.CheckStream(ef.Enc, npix); err != nil {
+				return 0, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+			}
+		}
+	}
+	// Ascending depth order; incoming lists are tiny (usually one entry).
+	for i := 1; i < len(incoming); i++ {
+		for j := i; j > 0 && incoming[j].Rng.Lo < incoming[j-1].Rng.Lo; j-- {
+			incoming[j], incoming[j-1] = incoming[j-1], incoming[j]
+		}
+	}
+	if !fused {
+		var frags []Fragment
+		for _, ef := range incoming {
+			data, err := cdc.DecodeInto(bufpool.Get(npix*raster.BytesPerPixel), ef.Enc, npix)
+			if err != nil {
+				ReleaseAll(frags)
+				return 0, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+			}
+			frags = append(frags, Fragment{Rng: ef.Rng, Data: data})
+		}
+		return st.Merge(b, frags)
+	}
+
+	var overPix int64
+	held := st.held[b]
+	for _, ef := range incoming {
+		// held stays sorted, disjoint and coalesced; find the insertion
+		// point and the neighbors the new fragment touches.
+		idx := 0
+		for idx < len(held) && held[idx].Rng.Lo < ef.Rng.Lo {
+			idx++
+		}
+		if idx > 0 && held[idx-1].Rng.Hi > ef.Rng.Lo {
+			st.held[b] = held
+			return overPix, fmt.Errorf("fragstore: merging block %v on rank %d: fragments %v and %v overlap",
+				b, st.rank, held[idx-1].Rng, ef.Rng)
+		}
+		if idx < len(held) && held[idx].Rng.Lo < ef.Rng.Hi {
+			st.held[b] = held
+			return overPix, fmt.Errorf("fragstore: merging block %v on rank %d: fragments %v and %v overlap",
+				b, st.rank, ef.Rng, held[idx].Rng)
+		}
+		switch {
+		case idx > 0 && held[idx-1].Rng.Hi == ef.Rng.Lo:
+			// Resident neighbor in front: resident over decoded, fused into
+			// the resident buffer.
+			n, err := od.DecodeOver(held[idx-1].Data, ef.Enc, npix, false)
+			overPix += int64(n)
+			if err != nil {
+				st.held[b] = held
+				return overPix, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+			}
+			held[idx-1].Rng.Hi = ef.Rng.Hi
+			// The extension may bridge to the next resident fragment;
+			// coalesce exactly as MergeFragments would (front over back
+			// into the back's buffer, recycling the front's).
+			if idx < len(held) && held[idx].Rng.Lo == held[idx-1].Rng.Hi {
+				overPix += int64(compose.OverU8(held[idx].Data, held[idx-1].Data, held[idx].Data))
+				bufpool.Put(held[idx-1].Data)
+				held[idx].Rng.Lo = held[idx-1].Rng.Lo
+				held = append(held[:idx-1], held[idx:]...)
+			}
+		case idx < len(held) && held[idx].Rng.Lo == ef.Rng.Hi:
+			// Resident neighbor behind: decoded over resident, fused into
+			// the resident buffer.
+			n, err := od.DecodeOver(held[idx].Data, ef.Enc, npix, true)
+			overPix += int64(n)
+			if err != nil {
+				st.held[b] = held
+				return overPix, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+			}
+			held[idx].Rng.Lo = ef.Rng.Lo
+		default:
+			// Depth-isolated: materialize into a pooled buffer.
+			data, err := od.DecodeInto(bufpool.Get(npix*raster.BytesPerPixel), ef.Enc, npix)
+			if err != nil {
+				st.held[b] = held
+				return overPix, fmt.Errorf("fragstore: merging block %v on rank %d: %w", b, st.rank, err)
+			}
+			held = append(held, Fragment{})
+			copy(held[idx+1:], held[idx:])
+			held[idx] = Fragment{Rng: ef.Rng, Data: data}
+		}
+	}
+	st.held[b] = held
 	return overPix, nil
 }
 

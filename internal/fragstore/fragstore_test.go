@@ -1,9 +1,12 @@
 package fragstore
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
+	"rtcomp/internal/codec"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
 )
@@ -171,5 +174,125 @@ func TestBlocksSortedBySpan(t *testing.T) {
 			t.Fatal("blocks not sorted by span")
 		}
 		prev = lo
+	}
+}
+
+// layerEnc encodes rank r's random layer restricted to block b's span.
+func layerEnc(t *testing.T, st *Store, b schedule.Block, cdc codec.Codec, r, w, h int) []byte {
+	t.Helper()
+	img := raster.RandomImage(rand.New(rand.NewSource(int64(100+r))), w, h, 0.4)
+	return cdc.Encode(img.SpanBytes(st.Span(b)))
+}
+
+// TestMergeEncodedMatchesMerge proves the fused receive path is
+// byte-identical to decode-everything-then-Merge: two identical stores
+// receive the same encoded fragments in the same batched order — one via
+// DecodeInto+Merge, one via MergeEncoded — and must agree on every over
+// count and every held byte after every batch. The batch order exercises
+// the isolated-insert, left-adjacent, right-adjacent and gap-bridging
+// cases; BSpan exercises the non-OverDecoder fallback.
+func TestMergeEncodedMatchesMerge(t *testing.T) {
+	const p, w, h = 6, 16, 3
+	codecs := []codec.Codec{codec.Raw{}, codec.RLE{}, codec.TRLE{}, codec.BSpan{}}
+	// Rank 2 holds [2,3); the batches hit: isolated insert (4), isolated
+	// insert plus bridge into the resident pair (0, 3), left-adjacent
+	// extension (5), and a final both-sides bridge (1).
+	batches := [][]int{{4}, {0, 3}, {5}, {1}}
+	for _, cdc := range codecs {
+		t.Run(cdc.Name(), func(t *testing.T) {
+			ref := newStore(t, 2, p, 1, w, h)
+			fus := newStore(t, 2, p, 1, w, h)
+			b := schedule.Block{Tile: 0}
+			npix := ref.Span(b).Len()
+			for _, batch := range batches {
+				var decoded []Fragment
+				var encoded []EncodedFragment
+				for _, r := range batch {
+					enc := layerEnc(t, ref, b, cdc, r, w, h)
+					rng := schedule.RankRange{Lo: r, Hi: r + 1}
+					// DecodeInto, not Decode: Raw's legacy Decode aliases enc,
+					// and the reference store composites in place — the fused
+					// store must see pristine streams.
+					dec, err := cdc.DecodeInto(nil, enc, npix)
+					if err != nil {
+						t.Fatal(err)
+					}
+					decoded = append(decoded, Fragment{Rng: rng, Data: dec})
+					encoded = append(encoded, EncodedFragment{Rng: rng, Enc: enc})
+				}
+				overRef, err := ref.Merge(b, decoded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				overFus, err := fus.MergeEncoded(b, encoded, cdc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if overRef != overFus {
+					t.Fatalf("batch %v: over pixels %d (fused) != %d (reference)", batch, overFus, overRef)
+				}
+				fr, ff := ref.Frags(b), fus.Frags(b)
+				if len(fr) != len(ff) {
+					t.Fatalf("batch %v: %d fragments (fused) != %d (reference)", batch, len(ff), len(fr))
+				}
+				for i := range fr {
+					if fr[i].Rng != ff[i].Rng {
+						t.Fatalf("batch %v: fragment %d range %v != %v", batch, i, ff[i].Rng, fr[i].Rng)
+					}
+					if !bytes.Equal(fr[i].Data, ff[i].Data) {
+						t.Fatalf("batch %v: fragment %d %v pixels diverge", batch, i, fr[i].Rng)
+					}
+				}
+			}
+			if err := fus.CheckComplete(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMergeEncodedCorruptTransactional proves a corrupt payload anywhere in
+// a batch leaves the store byte-for-byte untouched — the property the
+// compositor's compose-partial policy relies on to drop mangled messages
+// like lost ones.
+func TestMergeEncodedCorruptTransactional(t *testing.T) {
+	const p, w, h = 4, 12, 2
+	for _, cdc := range []codec.Codec{codec.Raw{}, codec.RLE{}, codec.TRLE{}} {
+		t.Run(cdc.Name(), func(t *testing.T) {
+			st := newStore(t, 1, p, 1, w, h)
+			b := schedule.Block{Tile: 0}
+			valid := layerEnc(t, st, b, cdc, 0, w, h)
+			corrupt := layerEnc(t, st, b, cdc, 2, w, h)
+			corrupt = corrupt[:len(corrupt)-1]
+			before := append([]byte(nil), st.Frags(b)[0].Data...)
+			_, err := st.MergeEncoded(b, []EncodedFragment{
+				{Rng: schedule.RankRange{Lo: 0, Hi: 1}, Enc: valid},
+				{Rng: schedule.RankRange{Lo: 2, Hi: 3}, Enc: corrupt},
+			}, cdc)
+			if !errors.Is(err, codec.ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			frags := st.Frags(b)
+			if len(frags) != 1 || frags[0].Rng != (schedule.RankRange{Lo: 1, Hi: 2}) {
+				t.Fatalf("store mutated by corrupt batch: %v", ranges(frags))
+			}
+			if !bytes.Equal(frags[0].Data, before) {
+				t.Fatal("resident pixels mutated by corrupt batch")
+			}
+		})
+	}
+}
+
+// TestMergeEncodedOverlapRejected mirrors TestMergeOverlapRejected on the
+// fused path.
+func TestMergeEncodedOverlapRejected(t *testing.T) {
+	st := newStore(t, 1, 3, 1, 4, 1)
+	b := schedule.Block{Tile: 0}
+	enc := codec.RLE{}.Encode(make([]byte, 8))
+	_, err := st.MergeEncoded(b, []EncodedFragment{
+		{Rng: schedule.RankRange{Lo: 1, Hi: 2}, Enc: enc}, // duplicates local layer
+	}, codec.RLE{})
+	if err == nil {
+		t.Fatal("overlapping fused merge accepted")
 	}
 }

@@ -84,6 +84,7 @@ const (
 	CtrPoolHit   = "pool_hit"   // buffer-pool gets served from a free list
 	CtrPoolMiss  = "pool_miss"  // buffer-pool gets that had to allocate
 	CtrPoolBytes = "pool_bytes" // bytes served from recycled buffers
+	CtrPoolDrop  = "pool_drop"  // recyclable puts rejected by a full free list
 
 	CtrTilesDone       = "tiles_done"        // pipelined tiles fully processed on this rank
 	CtrPipeInflightMax = "pipe_inflight_max" // peak tiles simultaneously in flight on this rank
