@@ -63,6 +63,9 @@ func main() {
 		recvTO    = flag.Duration("recv-timeout", 0, "composition receive deadline (0 = wait forever)")
 		missing   = flag.String("on-missing", "fail", "policy for missing contributions: fail, partial or recover")
 		maxRec    = flag.Int("max-recoveries", 2, "re-execution budget of -on-missing recover (negative = fallback immediately)")
+		spare     = flag.Bool("spare", false, "run as a standby for a dead -rank slot: rejoin via merkle-verified state transfer instead of rendering (requires -on-missing recover and -rejoin-timeout)")
+		rejoinTO  = flag.Duration("rejoin-timeout", 0, "with -on-missing recover: bounded window the survivors wait for a -spare before degrading (0 disables rejoin; must match across ranks)")
+		scrubRep  = flag.Bool("scrub-replicas", false, "re-hash buddy replicas after the exchange and repair silent corruption from the live copy (must match across ranks)")
 		quiet     = flag.Bool("quiet-mesh", false, "suppress per-peer mesh setup progress")
 		sessWin   = flag.Int("session-window", 0, "per-peer unacked frame window (0 = default)")
 		reconnTO  = flag.Duration("reconnect-timeout", 0, "per-outage session resume budget (0 = default)")
@@ -122,6 +125,8 @@ func main() {
 			RecvTimeout:    *recvTO,
 			OnMissing:      *missing,
 			MaxRecoveries:  *maxRec,
+			RejoinTimeout:  *rejoinTO,
+			ScrubReplicas:  *scrubRep,
 			Telemetry:      rec,
 			Pipeline:       *pipeline,
 			PipelineWindow: *pipeWin,
@@ -142,6 +147,9 @@ func main() {
 		return cfg
 	}
 
+	if *spare && (*missing != "recover" || *rejoinTO <= 0) {
+		fatal(fmt.Errorf("-spare requires -on-missing recover and a positive -rejoin-timeout"))
+	}
 	if *local > 0 {
 		flushOnSignal(rec, *traceOut, func() []telemetry.Summary { return rec.Summaries(*local) })
 		if err := runLocal(*local, mkConfig(*local), rec, *out, *traceOut, *timeout, sess); err != nil {
@@ -181,12 +189,20 @@ func main() {
 	defer ep.Close()
 	cfg := mkConfig(len(list))
 	cfg.Health = nodeHealth
-	img, rep, err := core.RenderRank(ep, cfg)
+	render := core.RenderRank
+	if *spare {
+		// Standby mode: skip rendering, announce for the dead slot, restore
+		// state from the mesh's merkle-verified transfer and finish the frame
+		// as a full member.
+		render = core.SpareRank
+	}
+	img, rep, err := render(ep, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	warnDegraded(rep)
 	noteRecovered(rep)
+	noteRejoined(rep)
 	fmt.Printf("rank %d: %d msgs sent, %d bytes sent, %d over-pixels\n",
 		*rank, rep.Comm.MsgsSent, rep.Comm.BytesSent, rep.OverPixels)
 	fmt.Printf("rank %d comm: %s\n", *rank, rep.Comm)
@@ -266,6 +282,17 @@ func noteRecovered(rep *compositor.Report) {
 	fmt.Fprintf(os.Stderr,
 		"rtnode: rank %d RECOVERED a complete image: %d re-executed epoch(s), dead rank(s) %v contributed from replicas\n",
 		rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
+}
+
+// noteRejoined surfaces a self-healed frame: a spare took over a dead slot
+// via verified state transfer and the mesh committed at full capacity.
+func noteRejoined(rep *compositor.Report) {
+	if rep == nil || !rep.Rejoined {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"rtnode: rank %d REJOINED mesh healed: slot(s) %v re-admitted over %d join round(s), frame committed at full capacity\n",
+		rep.Rank, rep.RejoinedRanks, rep.RejoinEpochs)
 }
 
 // dumpFlightOnQuit makes SIGQUIT dump the flight recorder's recent events

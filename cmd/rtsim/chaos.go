@@ -51,11 +51,21 @@ type chaosConfig struct {
 
 	recvTimeout   time.Duration
 	onMissing     string
-	maxRecoveries int    // re-execution budget of the recover policy
-	traceOut      string // write the real run's telemetry as Chrome trace JSON
-	tracePerRank  bool   // split -trace-out into per-rank -rNN files (rttrace merge input)
-	gantt         bool   // print the per-rank span occupancy chart
-	pipeline      bool   // run the per-tile pipelined compositor
+	maxRecoveries int // re-execution budget of the recover policy
+
+	// Self-healing knobs: spare launches a standby for the killed rank's
+	// slot that rejoins via merkle-verified state transfer (the run must end
+	// REJOINED, not RECOVERED); rejoinTimeout bounds how long the survivors
+	// hold the door open; scrub re-hashes buddy replicas after the exchange
+	// and repairs silent corruption from the live copy.
+	spare         bool
+	rejoinTimeout time.Duration
+	scrub         bool
+
+	traceOut     string // write the real run's telemetry as Chrome trace JSON
+	tracePerRank bool   // split -trace-out into per-rank -rNN files (rttrace merge input)
+	gantt        bool   // print the per-rank span occupancy chart
+	pipeline     bool   // run the per-tile pipelined compositor
 }
 
 // runChaos executes the schedule for real on the in-process fabric with
@@ -95,7 +105,31 @@ func runChaos(cc chaosConfig) error {
 	if cc.brownout > 0 && p >= 2 {
 		slow = 1 + rand.New(rand.NewSource(cc.seed)).Intn(p-1)
 	}
-	inproc.RunTel(p, rec, func(inner comm.Comm) error {
+	mkOpts := func(rank int) compositor.Options {
+		opts := compositor.Options{
+			Codec:         cc.cdc,
+			GatherRoot:    0,
+			RecvTimeout:   cc.recvTimeout,
+			OnMissing:     policy,
+			MaxRecoveries: cc.maxRecoveries,
+			RejoinTimeout: cc.rejoinTimeout,
+			ScrubReplicas: cc.scrub,
+			Telemetry:     rec,
+			Pipeline: compositor.PipelineConfig{
+				Enabled:        cc.pipeline,
+				InterleaveSeed: cc.seed,
+				Hedge:          compositor.HedgeConfig{Enabled: cc.hedge, Threshold: cc.hedgeThreshold},
+			},
+		}
+		if cc.adaptive {
+			opts.Adaptive = gray.NewEstimator(gray.Config{Static: cc.recvTimeout})
+		}
+		if cc.brownout > 0 || cc.adaptive {
+			opts.Health = gray.NewHealth(gray.HealthConfig{}, rec, rank)
+		}
+		return opts
+	}
+	runRank := func(inner comm.Comm) error {
 		rankPlan := plan
 		if cc.dieAfter > 0 && inner.Rank() == p-1 {
 			rankPlan.DieAfterSends = cc.dieAfter
@@ -109,26 +143,7 @@ func runChaos(cc chaosConfig) error {
 			rankPlan.BrownoutAfterSends = 1
 		}
 		ep := faulty.Wrap(inner, rankPlan)
-		opts := compositor.Options{
-			Codec:         cc.cdc,
-			GatherRoot:    0,
-			RecvTimeout:   cc.recvTimeout,
-			OnMissing:     policy,
-			MaxRecoveries: cc.maxRecoveries,
-			Telemetry:     rec,
-			Pipeline: compositor.PipelineConfig{
-				Enabled:        cc.pipeline,
-				InterleaveSeed: cc.seed,
-				Hedge:          compositor.HedgeConfig{Enabled: cc.hedge, Threshold: cc.hedgeThreshold},
-			},
-		}
-		if cc.adaptive {
-			opts.Adaptive = gray.NewEstimator(gray.Config{Static: cc.recvTimeout})
-		}
-		if cc.brownout > 0 || cc.adaptive {
-			opts.Health = gray.NewHealth(gray.HealthConfig{}, rec, inner.Rank())
-		}
-		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], opts)
+		img, rep, err := compositor.Run(ep, cc.sched, cc.layers[inner.Rank()], mkOpts(inner.Rank()))
 		mu.Lock()
 		defer mu.Unlock()
 		reports[inner.Rank()] = rep
@@ -138,7 +153,43 @@ func runChaos(cc chaosConfig) error {
 			final = img
 		}
 		return nil
-	})
+	}
+	var spareRep *compositor.Report
+	var spareErr error
+	if cc.spare {
+		// A standby is registered for the victim's slot, so the fabric is
+		// managed by hand: the victim's rank slot gets a fresh mailbox after
+		// its incarnation dies, and the spare rejoins through the
+		// merkle-verified transfer while the survivors hold the frame open.
+		fab := inproc.New(p)
+		fab.SetTelemetry(rec)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ep := fab.Endpoint(r)
+				_ = runRank(ep)
+				ep.Close()
+				if r != p-1 || cc.dieAfter <= 0 {
+					return
+				}
+				sep := fab.Reattach(r)
+				sp := faulty.Wrap(sep, plan) // the framing layer, no kill
+				img, rep, err := compositor.RunSpare(sp, cc.sched, mkOpts(r))
+				sep.Close()
+				mu.Lock()
+				defer mu.Unlock()
+				spareRep, spareErr = rep, err
+				if img != nil {
+					final = img
+				}
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		inproc.RunTel(p, rec, runRank)
+	}
 	elapsed := time.Since(t0)
 
 	fmt.Printf("chaos: method=%s p=%d seed=%d drop=%g resend=%d delay=%g dup=%g corrupt=%g die-after=%d policy=%s pipeline=%v\n",
@@ -173,13 +224,28 @@ func runChaos(cc chaosConfig) error {
 			fmt.Printf("chaos: rank %d error: %v\n", r, err)
 		}
 	}
+	allReports := reports
+	if cc.spare {
+		if spareErr != nil {
+			failed++
+			fmt.Printf("chaos: spare for rank %d error: %v\n", p-1, spareErr)
+		} else if spareRep != nil {
+			allReports = append(append([]*compositor.Report(nil), reports...), spareRep)
+		}
+	}
 	degraded := false
 	recovered := false
+	rejoined := false
 	epochs := 0
 	evicted := map[int]bool{}
-	for _, rep := range reports {
+	for _, rep := range allReports {
 		if rep == nil {
 			continue
+		}
+		if rep.Rejoined {
+			rejoined = true
+			fmt.Printf("chaos: rank %d rejoined: slot(s) %v re-admitted over %d join round(s)\n",
+				rep.Rank, rep.RejoinedRanks, rep.RejoinEpochs)
 		}
 		if rep.Degraded {
 			degraded = true
@@ -198,16 +264,16 @@ func runChaos(cc chaosConfig) error {
 				rep.Rank, rep.RecoveryEpochs, rep.RecoveredRanks)
 		}
 	}
-	if slow >= 0 || cc.hedge || cc.adaptive {
-		sum := func(name string) int64 {
-			var n int64
-			for k, v := range rec.Counters() {
-				if k.Name == name {
-					n += v
-				}
+	sum := func(name string) int64 {
+		var n int64
+		for k, v := range rec.Counters() {
+			if k.Name == name {
+				n += v
 			}
-			return n
 		}
+		return n
+	}
+	if slow >= 0 || cc.hedge || cc.adaptive {
 		// One greppable line for the CI brownout job: the hedging and
 		// grace counters, and how many ranks were actually evicted.
 		fmt.Printf("# gray: slow-rank=%d brownout=%v hedge_requests=%d hedge_wins=%d hedge_served=%d hedge_wasted=%d grace=%d escalations=%d evictions=%d\n",
@@ -221,6 +287,16 @@ func runChaos(cc chaosConfig) error {
 	// victim) means the gray-failure machinery false-positived.
 	if slow >= 0 && victim < 0 && evicted[slow] {
 		return fmt.Errorf("chaos: browned-out rank %d was FALSELY EVICTED (slow, not dead)", slow)
+	}
+	if cc.spare || cc.rejoinTimeout > 0 || cc.scrub {
+		// One greppable line for the CI self-healing job: join and scrub
+		// counters, and how many ranks ended the frame evicted. A healed run
+		// verifies every transferred chunk and evicts nobody.
+		fmt.Printf("# rejoin: spare=%v rejoins=%d rejoin_verified_chunks=%d rejoin_rejected_chunks=%d scrub_ok=%d scrub_repaired=%d scrub_failed=%d evictions=%d\n",
+			cc.spare, sum(telemetry.CtrRejoins),
+			sum(telemetry.CtrRejoinVerifiedChunks), sum(telemetry.CtrRejoinRejectedChunks),
+			sum(telemetry.CtrScrubOK), sum(telemetry.CtrScrubRepaired), sum(telemetry.CtrScrubFailed),
+			len(evicted))
 	}
 	// The real run's telemetry: per-step timing/bytes table aggregated
 	// across ranks, optional span Gantt and Chrome trace export.
@@ -254,6 +330,9 @@ func runChaos(cc chaosConfig) error {
 		if victim >= 0 {
 			return fmt.Errorf("chaos: recover policy delivered no image")
 		}
+	case rejoined && raster.MaxDiff(final, want) <= tol:
+		fmt.Printf("chaos: REJOINED in %v — mesh healed at full capacity, image matches the fault-free composite (maxdiff %d, tolerance %d)\n",
+			elapsed, raster.MaxDiff(final, want), tol)
 	case recovered && raster.MaxDiff(final, want) <= tol:
 		fmt.Printf("chaos: RECOVERED in %v — %d re-executed epoch(s), image matches the fault-free composite (maxdiff %d, tolerance %d)\n",
 			elapsed, epochs, raster.MaxDiff(final, want), tol)

@@ -58,6 +58,10 @@ func main() {
 		dup       = flag.Float64("dup", 0, "chaos: duplicate delivery probability")
 		corrupt   = flag.Float64("corrupt", 0, "chaos: payload corruption probability")
 		dieAfter  = flag.Int("die-after", 0, "chaos: kill the last rank after this many sends (0 = never)")
+		kill      = flag.Bool("kill", false, "chaos: kill the last rank right after its replica ships (shorthand for -die-after 1)")
+		spareF    = flag.Bool("spare", false, "chaos: register a standby for the killed rank's slot; it must rejoin via merkle-verified state transfer and the run must end REJOINED (requires -on-missing recover)")
+		rejoinTO  = flag.Duration("rejoin-timeout", 0, "chaos: bounded window the survivors wait for a -spare before degrading (default 10x -recv-timeout when -spare is set)")
+		scrubF    = flag.Bool("scrub", false, "chaos: re-hash buddy replicas after the exchange and repair silent corruption from the live copy")
 		connReset = flag.Int("conn-reset", 0, "chaos: sever this many live TCP connections at seeded-random steps over a loopback mesh (0 = use the in-process fabric)")
 		brownout  = flag.Duration("brownout", 0, "chaos: gray failure — every delivery from one seeded-random non-root rank is delayed by this much (slow, not dead)")
 		hedgeF    = flag.Bool("hedge", false, "chaos: speculatively re-request overdue tile transfers from the origin's buddy (pipelined compositor only)")
@@ -119,6 +123,17 @@ func main() {
 		return
 	}
 	if *chaos {
+		if *kill && *dieAfter == 0 {
+			*dieAfter = 1
+		}
+		if *spareF {
+			if *missing != "recover" {
+				fatal(fmt.Errorf("-spare requires -on-missing recover"))
+			}
+			if *rejoinTO == 0 {
+				*rejoinTO = 10 * *recvTO
+			}
+		}
 		err := runChaos(chaosConfig{
 			sched: sched, layers: layers, cdc: c,
 			seed: *chaosSeed, drop: *drop, resend: *resend,
@@ -126,6 +141,7 @@ func main() {
 			dup: *dup, corrupt: *corrupt, dieAfter: *dieAfter,
 			brownout: *brownout, hedge: *hedgeF, hedgeThreshold: *hedgeTh, adaptive: *adaptive,
 			recvTimeout: *recvTO, onMissing: *missing, maxRecoveries: *maxRec,
+			spare: *spareF, rejoinTimeout: *rejoinTO, scrub: *scrubF,
 			traceOut: *traceOut, tracePerRank: *tracePR, gantt: *gantt, pipeline: *pipeline,
 		})
 		if err != nil {

@@ -1,0 +1,399 @@
+// The JOIN path of the membership protocol — the symmetric counterpart of
+// the FAILED path in membership.go. A standby rank (a spare, or a restarted
+// rank) broadcasts a JOIN-HELLO on a reserved epoch-independent tag; the
+// hellos sit in the survivors' mailboxes until the next membership change,
+// when every survivor drains them and runs a two-round join agreement
+// (AgreeJoin) that unions the offers — including the merkle manifests of the
+// state snapshots the contributors can serve — so every survivor certifies
+// the same commitment the joiner will verify its state transfer against.
+// The joiner's buddy then sends an ADMIT carrying the certified manifests
+// and the strictly-higher join epoch, the contributors stream their chunks,
+// and a JOIN-DONE from the joiner lets every survivor Revive it in lockstep.
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Reserved negative tag bases of the join protocol, each in its own 2^40+
+// band below the recovery bases (notice at -2^40, agree at -2^41).
+const (
+	// TagJoinHello carries a spare's JOIN-HELLO. It is epoch-independent:
+	// the spare does not know the mesh epoch, and the hello may sit in a
+	// mailbox across several epochs before a survivor drains it.
+	TagJoinHello = -(1 << 42)
+	// TagJoinAdmit carries the sponsor's ADMIT to the joiner — also
+	// epoch-independent, because the joiner learns the epoch from it.
+	TagJoinAdmit = -(1 << 43)
+
+	tagJoinAgreeBase = -(1 << 44) // join agreement rounds: base - 2*epoch - round
+	tagJoinXferBase  = -(1 << 45) // chunk stream: base - epoch*2^20 - chunk index
+	tagJoinDoneBase  = -(1 << 46) // JOIN-DONE: base - epoch
+)
+
+func joinAgreeTag(epoch, round int) int { return tagJoinAgreeBase - 2*epoch - round }
+
+// JoinXferTag scopes one snapshot chunk to a join epoch; the serving rank is
+// the message's From, so (epoch, index) needs no source component.
+func JoinXferTag(epoch, chunk int) int { return tagJoinXferBase - epoch<<20 - chunk }
+
+// JoinDoneTag scopes the joiner's JOIN-DONE to its join epoch.
+func JoinDoneTag(epoch int) int { return tagJoinDoneBase - epoch }
+
+// JoinHello announces a standby rank asking to take over a (dead) rank slot.
+// The nonce distinguishes incarnations: a second spare for the same slot, or
+// a retry, carries a fresh nonce, and an ADMIT echoes the nonce so a spare
+// never acts on an admission meant for a predecessor.
+type JoinHello struct {
+	Rank  int
+	Nonce uint64
+}
+
+// Encode serialises the hello: uvarint rank, 8-byte big-endian nonce.
+func (h JoinHello) Encode() []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+8)
+	buf = binary.AppendUvarint(buf, uint64(h.Rank))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], h.Nonce)
+	return append(buf, n[:]...)
+}
+
+// DecodeJoinHello inverts Encode.
+func DecodeJoinHello(payload []byte) (JoinHello, error) {
+	r, off := binary.Uvarint(payload)
+	if off <= 0 || r > 1<<20 {
+		return JoinHello{}, fmt.Errorf("comm: corrupt join hello rank")
+	}
+	if len(payload)-off != 8 {
+		return JoinHello{}, fmt.Errorf("comm: join hello has %d nonce bytes, want 8", len(payload)-off)
+	}
+	return JoinHello{Rank: int(r), Nonce: binary.BigEndian.Uint64(payload[off:])}, nil
+}
+
+// JoinCommit is one contributor's commitment for a joiner: the serialized
+// statexfer manifest of the snapshot it will stream. The bytes are opaque to
+// the comm layer — the agreement only needs to replicate them faithfully so
+// every survivor certifies the same roots.
+type JoinCommit struct {
+	Source   int
+	Manifest []byte
+}
+
+// JoinOffer is one pending joiner as seen by a survivor: the hello it
+// drained plus the commitments of the local contributions it can serve.
+type JoinOffer struct {
+	Rank    int
+	Nonce   uint64
+	Commits []JoinCommit
+}
+
+// EncodeJoinOffers serialises an offer list.
+func EncodeJoinOffers(offers []JoinOffer) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(offers)))
+	for _, o := range offers {
+		buf = binary.AppendUvarint(buf, uint64(o.Rank))
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], o.Nonce)
+		buf = append(buf, n[:]...)
+		buf = binary.AppendUvarint(buf, uint64(len(o.Commits)))
+		for _, c := range o.Commits {
+			buf = binary.AppendUvarint(buf, uint64(c.Source))
+			buf = binary.AppendUvarint(buf, uint64(len(c.Manifest)))
+			buf = append(buf, c.Manifest...)
+		}
+	}
+	return buf
+}
+
+// DecodeJoinOffers inverts EncodeJoinOffers. Manifest bytes are copied, not
+// aliased, because offers outlive the wire buffer.
+func DecodeJoinOffers(payload []byte) ([]JoinOffer, error) {
+	uv := func(rest []byte) (uint64, []byte, error) {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 || v > 1<<32 {
+			return 0, nil, fmt.Errorf("comm: corrupt join offer")
+		}
+		return v, rest[k:], nil
+	}
+	n, rest, err := uv(payload)
+	if err != nil {
+		return nil, err
+	}
+	var out []JoinOffer
+	for i := uint64(0); i < n; i++ {
+		var o JoinOffer
+		var r uint64
+		if r, rest, err = uv(rest); err != nil {
+			return nil, err
+		}
+		o.Rank = int(r)
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("comm: corrupt join offer nonce")
+		}
+		o.Nonce = binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		var nc uint64
+		if nc, rest, err = uv(rest); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nc; j++ {
+			var c JoinCommit
+			var src, ml uint64
+			if src, rest, err = uv(rest); err != nil {
+				return nil, err
+			}
+			c.Source = int(src)
+			if ml, rest, err = uv(rest); err != nil {
+				return nil, err
+			}
+			if uint64(len(rest)) < ml {
+				return nil, fmt.Errorf("comm: truncated join commit manifest")
+			}
+			c.Manifest = append([]byte(nil), rest[:ml]...)
+			rest = rest[ml:]
+			o.Commits = append(o.Commits, c)
+		}
+		out = append(out, o)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("comm: %d trailing bytes in join offers", len(rest))
+	}
+	return out, nil
+}
+
+// mergeOffers folds src into dst (keyed by joiner rank). The rule is
+// commutative, associative and idempotent, so every survivor that hears the
+// same message set converges on the same union regardless of arrival order:
+// the higher nonce wins a joiner conflict (a fresh incarnation supersedes a
+// stale hello), and commits merge by source with the lexicographically
+// smaller manifest winning a source conflict (deterministic, and a conflict
+// means a stale mix that the manifest identity check rejects later anyway).
+func mergeOffers(dst map[int]*JoinOffer, src []JoinOffer) {
+	for _, o := range src {
+		cur, ok := dst[o.Rank]
+		switch {
+		case !ok || o.Nonce > cur.Nonce:
+			cp := o
+			cp.Commits = append([]JoinCommit(nil), o.Commits...)
+			dst[o.Rank] = &cp
+		case o.Nonce < cur.Nonce:
+			// Stale incarnation: drop.
+		default:
+			for _, c := range o.Commits {
+				merged := false
+				for i := range cur.Commits {
+					if cur.Commits[i].Source == c.Source {
+						if string(c.Manifest) < string(cur.Commits[i].Manifest) {
+							cur.Commits[i].Manifest = c.Manifest
+						}
+						merged = true
+						break
+					}
+				}
+				if !merged {
+					cur.Commits = append(cur.Commits, c)
+				}
+			}
+		}
+	}
+}
+
+// AgreeJoin is the two-round join agreement every survivor runs after a
+// membership change when rejoin is enabled — whether or not it drained a
+// hello itself, because a peer may have. Round 0 exchanges each rank's local
+// offers; round 1 exchanges the unions, so a hello observed by any one
+// survivor reaches all of them. Silence or a peer failure in either round
+// aborts the join for everyone (the abort is propagated in the round-1
+// message), returning nil — admission must be unanimous, and an aborted join
+// is retried at a later epoch while the ordinary failure machinery deals
+// with whatever caused the silence. The returned offers are sorted by rank
+// and identical on every survivor that returns non-nil.
+func AgreeJoin(c Comm, m *Membership, mine []JoinOffer, timeout time.Duration) ([]JoinOffer, error) {
+	me := c.Rank()
+	union := map[int]*JoinOffer{}
+	mergeOffers(union, mine)
+	aborted := false
+	for round := 0; round < 2; round++ {
+		tag := joinAgreeTag(m.epoch, round)
+		payload := []byte{0}
+		if aborted {
+			payload[0] = 1
+		}
+		payload = append(payload, EncodeJoinOffers(unionOffers(union))...)
+		var keys []MsgKey
+		for r := 0; r < m.size; r++ {
+			if r == me || m.dead[r] {
+				continue
+			}
+			if err := c.Send(r, tag, payload); err != nil {
+				if !IsRecoverable(err) {
+					return nil, fmt.Errorf("comm: join agree round %d send: %w", round, err)
+				}
+				aborted = true
+				continue
+			}
+			keys = append(keys, MsgKey{From: r, Tag: tag})
+		}
+		deadline := time.Now().Add(timeout)
+		for len(keys) > 0 {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				aborted = true
+				break
+			}
+			from, _, data, err := c.RecvAnyTimeout(keys, remain)
+			if err != nil {
+				if !IsRecoverable(err) {
+					return nil, fmt.Errorf("comm: join agree round %d recv: %w", round, err)
+				}
+				var perr *PeerError
+				if errors.As(err, &perr) {
+					aborted = true
+					keys = dropKeysFrom(keys, perr.Rank)
+					continue
+				}
+				aborted = true
+				keys = nil
+				continue
+			}
+			keys = dropKeysFrom(keys, from)
+			if len(data) < 1 || data[0] != 0 {
+				aborted = true
+				continue
+			}
+			theirs, derr := DecodeJoinOffers(data[1:])
+			if derr != nil {
+				// A garbled offer set cannot be certified; treat as abort.
+				aborted = true
+				continue
+			}
+			mergeOffers(union, theirs)
+		}
+	}
+	if aborted {
+		return nil, nil
+	}
+	return unionOffers(union), nil
+}
+
+func unionOffers(union map[int]*JoinOffer) []JoinOffer {
+	out := make([]JoinOffer, 0, len(union))
+	for _, o := range union {
+		cp := *o
+		sort.Slice(cp.Commits, func(i, j int) bool { return cp.Commits[i].Source < cp.Commits[j].Source })
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// JoinAdmit is the sponsor's admission message to the joiner: the nonce it
+// echoes, the join epoch (the epoch the survivors will Revive at, strictly
+// higher than any the joiner has seen), the ranks still dead after the
+// revive, and the certified manifests of every contribution it will receive.
+type JoinAdmit struct {
+	Nonce   uint64
+	Epoch   int
+	Dead    []int
+	Commits []JoinCommit
+}
+
+// Encode serialises the admit.
+func (a JoinAdmit) Encode() []byte {
+	var buf []byte
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], a.Nonce)
+	buf = append(buf, n[:]...)
+	buf = binary.AppendUvarint(buf, uint64(a.Epoch))
+	buf = append(buf, EncodeRankSet(a.Dead)...)
+	buf = binary.AppendUvarint(buf, uint64(len(a.Commits)))
+	for _, c := range a.Commits {
+		buf = binary.AppendUvarint(buf, uint64(c.Source))
+		buf = binary.AppendUvarint(buf, uint64(len(c.Manifest)))
+		buf = append(buf, c.Manifest...)
+	}
+	return buf
+}
+
+// DecodeJoinAdmit inverts Encode.
+func DecodeJoinAdmit(payload []byte) (JoinAdmit, error) {
+	var a JoinAdmit
+	if len(payload) < 8 {
+		return a, fmt.Errorf("comm: corrupt join admit nonce")
+	}
+	a.Nonce = binary.BigEndian.Uint64(payload)
+	rest := payload[8:]
+	ep, k := binary.Uvarint(rest)
+	if k <= 0 || ep > 1<<32 {
+		return a, fmt.Errorf("comm: corrupt join admit epoch")
+	}
+	a.Epoch = int(ep)
+	rest = rest[k:]
+	// The rank set codec rejects trailing bytes, so split manually: count,
+	// then that many uvarints.
+	nd, k := binary.Uvarint(rest)
+	if k <= 0 || nd > 1<<20 {
+		return a, fmt.Errorf("comm: corrupt join admit dead set")
+	}
+	rest = rest[k:]
+	for i := uint64(0); i < nd; i++ {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 || v > 1<<20 {
+			return a, fmt.Errorf("comm: corrupt join admit dead rank")
+		}
+		a.Dead = append(a.Dead, int(v))
+		rest = rest[k:]
+	}
+	nc, k := binary.Uvarint(rest)
+	if k <= 0 || nc > 1<<20 {
+		return a, fmt.Errorf("comm: corrupt join admit commit count")
+	}
+	rest = rest[k:]
+	for i := uint64(0); i < nc; i++ {
+		var c JoinCommit
+		src, k := binary.Uvarint(rest)
+		if k <= 0 || src > 1<<20 {
+			return a, fmt.Errorf("comm: corrupt join admit commit source")
+		}
+		c.Source = int(src)
+		rest = rest[k:]
+		ml, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < ml {
+			return a, fmt.Errorf("comm: truncated join admit manifest")
+		}
+		c.Manifest = append([]byte(nil), rest[k:k+int(ml)]...)
+		rest = rest[k+int(ml):]
+		a.Commits = append(a.Commits, c)
+	}
+	if len(rest) != 0 {
+		return a, fmt.Errorf("comm: %d trailing bytes in join admit", len(rest))
+	}
+	return a, nil
+}
+
+// EncodeJoinDone serialises the joiner's JOIN-DONE: a status byte (1 = the
+// transfer verified completely) and the count of chunks verified.
+func EncodeJoinDone(ok bool, verifiedChunks int) []byte {
+	buf := make([]byte, 1, 1+binary.MaxVarintLen64)
+	if ok {
+		buf[0] = 1
+	}
+	return binary.AppendUvarint(buf, uint64(verifiedChunks))
+}
+
+// DecodeJoinDone inverts EncodeJoinDone.
+func DecodeJoinDone(payload []byte) (ok bool, verifiedChunks int, err error) {
+	if len(payload) < 1 {
+		return false, 0, fmt.Errorf("comm: empty join done")
+	}
+	v, k := binary.Uvarint(payload[1:])
+	if k <= 0 || v > 1<<32 {
+		return false, 0, fmt.Errorf("comm: corrupt join done chunk count")
+	}
+	return payload[0] == 1, int(v), nil
+}

@@ -1,0 +1,210 @@
+package comm_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rtcomp/internal/comm"
+)
+
+func TestJoinHelloRoundTrip(t *testing.T) {
+	h := comm.JoinHello{Rank: 5, Nonce: 0xDEADBEEFCAFE}
+	got, err := comm.DecodeJoinHello(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+	for _, bad := range [][]byte{nil, {5}, h.Encode()[:6], append(h.Encode(), 0)} {
+		if _, err := comm.DecodeJoinHello(bad); err == nil {
+			t.Fatalf("malformed hello %v accepted", bad)
+		}
+	}
+}
+
+func TestJoinOffersRoundTrip(t *testing.T) {
+	offers := []comm.JoinOffer{
+		{Rank: 2, Nonce: 7, Commits: []comm.JoinCommit{
+			{Source: 3, Manifest: []byte("manifest-a")},
+			{Source: 0, Manifest: []byte("manifest-b")},
+		}},
+		{Rank: 4, Nonce: 1},
+	}
+	got, err := comm.DecodeJoinOffers(comm.EncodeJoinOffers(offers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Rank != 2 || got[0].Nonce != 7 || len(got[0].Commits) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got[0].Commits[1].Source != 0 || !bytes.Equal(got[0].Commits[1].Manifest, []byte("manifest-b")) {
+		t.Fatalf("commit round trip: %+v", got[0].Commits)
+	}
+	enc := comm.EncodeJoinOffers(offers)
+	if _, err := comm.DecodeJoinOffers(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated offers accepted")
+	}
+}
+
+func TestJoinAdmitRoundTrip(t *testing.T) {
+	a := comm.JoinAdmit{
+		Nonce: 99, Epoch: 3, Dead: []int{1, 4},
+		Commits: []comm.JoinCommit{{Source: 2, Manifest: []byte("m")}},
+	}
+	got, err := comm.DecodeJoinAdmit(a.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nonce != 99 || got.Epoch != 3 || len(got.Dead) != 2 || got.Dead[1] != 4 ||
+		len(got.Commits) != 1 || got.Commits[0].Source != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := comm.DecodeJoinAdmit(a.Encode()[:5]); err == nil {
+		t.Fatal("truncated admit accepted")
+	}
+}
+
+func TestJoinDoneRoundTrip(t *testing.T) {
+	ok, n, err := comm.DecodeJoinDone(comm.EncodeJoinDone(true, 42))
+	if err != nil || !ok || n != 42 {
+		t.Fatalf("done round trip: ok=%v n=%d err=%v", ok, n, err)
+	}
+	ok, _, err = comm.DecodeJoinDone(comm.EncodeJoinDone(false, 0))
+	if err != nil || ok {
+		t.Fatalf("failed-done round trip: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := comm.DecodeJoinDone(nil); err == nil {
+		t.Fatal("empty done accepted")
+	}
+}
+
+func TestMembershipReviveAndResume(t *testing.T) {
+	m := comm.NewMembership(4)
+	m.Advance([]int{2})
+	if m.Alive(2) || m.Epoch() != 1 {
+		t.Fatalf("advance: alive(2)=%v epoch=%d", m.Alive(2), m.Epoch())
+	}
+	m.Revive([]int{2})
+	if !m.Alive(2) || m.Epoch() != 2 || m.NumDead() != 0 {
+		t.Fatalf("revive: alive(2)=%v epoch=%d dead=%d", m.Alive(2), m.Epoch(), m.NumDead())
+	}
+	r := comm.Resume(6, 5, []int{1, 3})
+	if r.Size() != 6 || r.Epoch() != 5 || r.Alive(1) || r.Alive(3) || !r.Alive(0) {
+		t.Fatalf("resume: %+v", r)
+	}
+}
+
+// TestAgreeJoinUnionsOffers: only rank 1 saw the hello, yet after the
+// two-round agreement every rank must certify the identical offer set.
+func TestAgreeJoinUnionsOffers(t *testing.T) {
+	p := 4
+	results := make([][]comm.JoinOffer, p)
+	run(t, p, func(c comm.Comm) error {
+		m := comm.NewMembership(p)
+		m.Advance(nil) // epoch 1, nobody dead — isolates the join tags
+		var mine []comm.JoinOffer
+		if c.Rank() == 1 {
+			mine = []comm.JoinOffer{{Rank: 2, Nonce: 9, Commits: []comm.JoinCommit{{Source: 1, Manifest: []byte("m1")}}}}
+		}
+		got, err := comm.AgreeJoin(c, m, mine, 2*time.Second)
+		results[c.Rank()] = got
+		return err
+	})
+	for r, got := range results {
+		if len(got) != 1 || got[0].Rank != 2 || got[0].Nonce != 9 || len(got[0].Commits) != 1 {
+			t.Fatalf("rank %d certified %+v", r, got)
+		}
+	}
+}
+
+// TestAgreeJoinMergesContributors: two ranks each hold part of the joiner's
+// state; the union must carry both commits, higher nonce superseding lower.
+func TestAgreeJoinMergesContributors(t *testing.T) {
+	p := 4
+	results := make([][]comm.JoinOffer, p)
+	run(t, p, func(c comm.Comm) error {
+		m := comm.NewMembership(p)
+		m.Advance(nil)
+		var mine []comm.JoinOffer
+		switch c.Rank() {
+		case 0:
+			mine = []comm.JoinOffer{{Rank: 3, Nonce: 5, Commits: []comm.JoinCommit{{Source: 0, Manifest: []byte("m0")}}}}
+		case 2:
+			mine = []comm.JoinOffer{
+				{Rank: 3, Nonce: 5, Commits: []comm.JoinCommit{{Source: 2, Manifest: []byte("m2")}}},
+				{Rank: 3, Nonce: 4, Commits: []comm.JoinCommit{{Source: 9, Manifest: []byte("stale")}}},
+			}
+		}
+		got, err := comm.AgreeJoin(c, m, mine, 2*time.Second)
+		results[c.Rank()] = got
+		return err
+	})
+	for r, got := range results {
+		if len(got) != 1 || got[0].Rank != 3 || got[0].Nonce != 5 {
+			t.Fatalf("rank %d certified %+v", r, got)
+		}
+		if len(got[0].Commits) != 2 || got[0].Commits[0].Source != 0 || got[0].Commits[1].Source != 2 {
+			t.Fatalf("rank %d commits %+v, want sources [0 2]", r, got[0].Commits)
+		}
+	}
+}
+
+// TestAgreeJoinAbortsOnSilence: a rank that never participates must turn the
+// join into a unanimous abort (nil offers) on the ranks that do.
+func TestAgreeJoinAbortsOnSilence(t *testing.T) {
+	p := 3
+	results := make([][]comm.JoinOffer, p)
+	aborts := make([]bool, p)
+	run(t, p, func(c comm.Comm) error {
+		if c.Rank() == 2 {
+			return nil // silent: never joins the agreement
+		}
+		m := comm.NewMembership(p)
+		m.Advance(nil)
+		mine := []comm.JoinOffer{{Rank: 0, Nonce: 1}}
+		got, err := comm.AgreeJoin(c, m, mine, 300*time.Millisecond)
+		results[c.Rank()] = got
+		aborts[c.Rank()] = got == nil && err == nil
+		return err
+	})
+	for _, r := range []int{0, 1} {
+		if !aborts[r] {
+			t.Fatalf("rank %d did not abort: %+v", r, results[r])
+		}
+	}
+}
+
+// FuzzJoinHelloDecode: the hello decoder must never panic and every accepted
+// hello must round-trip.
+func FuzzJoinHelloDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(comm.JoinHello{Rank: 3, Nonce: 77}.Encode())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		h, err := comm.DecodeJoinHello(payload)
+		if err != nil {
+			return
+		}
+		got, err := comm.DecodeJoinHello(h.Encode())
+		if err != nil || got != h {
+			t.Fatalf("re-decode of accepted hello failed: %+v %v", h, err)
+		}
+	})
+}
+
+// FuzzJoinAdmitDecode: the admit decoder must never panic on arbitrary
+// payloads (the joiner feeds it raw wire bytes).
+func FuzzJoinAdmitDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(comm.JoinAdmit{Nonce: 1, Epoch: 2, Dead: []int{0}}.Encode())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		a, err := comm.DecodeJoinAdmit(payload)
+		if err != nil {
+			return
+		}
+		if _, err := comm.DecodeJoinAdmit(a.Encode()); err != nil {
+			t.Fatalf("re-decode of accepted admit failed: %+v %v", a, err)
+		}
+	})
+}

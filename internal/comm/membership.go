@@ -88,6 +88,32 @@ func (m *Membership) Advance(newDead []int) {
 	m.epoch++
 }
 
+// Revive returns the given ranks to the live set and enters the next epoch
+// — the join counterpart of Advance, run by every survivor in lockstep after
+// a JOIN-DONE. The epoch bump gives the joiner the strictly-higher epoch its
+// admission promised, and makes any traffic from before the revive stale.
+func (m *Membership) Revive(ranks []int) {
+	for _, r := range ranks {
+		if r >= 0 && r < m.size {
+			m.dead[r] = false
+		}
+	}
+	m.epoch++
+}
+
+// Resume constructs membership at an arbitrary epoch with the given dead
+// set — a joiner's view, taken verbatim from the ADMIT that the agreement
+// round certified.
+func Resume(size, epoch int, dead []int) *Membership {
+	m := &Membership{size: size, epoch: epoch, dead: make([]bool, size)}
+	for _, r := range dead {
+		if r >= 0 && r < size {
+			m.dead[r] = true
+		}
+	}
+	return m
+}
+
 // NoticeKeys returns the receive keys for this epoch's failure notices
 // from every live peer. A recovery-mode receive folds these into its key
 // set so a peer's abort wakes it immediately instead of at its deadline.

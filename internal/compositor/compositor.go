@@ -137,6 +137,22 @@ type Options struct {
 	// delivering earns grace instead of a recovery epoch, until its score
 	// is sustained past the escalation bar (see gray.Health).
 	Health *gray.Health
+	// RejoinTimeout, under the Recover policy, enables the self-healing
+	// join path: after every membership change the survivors wait up to
+	// this long for a spare rank (RunSpare) to announce itself before they
+	// decide to keep recovering degraded. Zero disables rejoin entirely —
+	// the pre-existing behavior. Must match across all ranks of a run.
+	RejoinTimeout time.Duration
+	// ScrubReplicas, under the Recover policy, runs the replica scrub
+	// exchange after the buddy exchange: every holder re-hashes its ward
+	// replicas against the merkle roots recorded at exchange time and
+	// repairs silent corruption from the live copy (scrub_ok /
+	// scrub_repaired counters). Must match across all ranks of a run.
+	ScrubReplicas bool
+	// hookReplicas, when non-nil, is called with this rank's ward replicas
+	// right after the scrubber records their fingerprints — the test seam
+	// for injecting the silent corruption the scrub pass must detect.
+	hookReplicas func(rank int, replicas map[int]*raster.Image)
 }
 
 // Report summarises one rank's work during a composition.
@@ -160,6 +176,14 @@ type Report struct {
 	Recovered      bool
 	RecoveryEpochs int   // composition epochs re-executed after agreement
 	RecoveredRanks []int // dead ranks whose layers were recovered
+
+	// Rejoined flags a run during which at least one dead rank slot was
+	// re-admitted by the join protocol (so the frame committed at full
+	// capacity; a fully healed run reports Recovered=false). On a spare
+	// (RunSpare) it flags the successful verified state transfer.
+	Rejoined      bool
+	RejoinEpochs  int   // successful join rounds during the run
+	RejoinedRanks []int // rank slots re-admitted by the join protocol
 }
 
 // resetDegradation clears the per-epoch damage tallies: they describe the

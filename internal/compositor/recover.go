@@ -35,6 +35,7 @@ import (
 	"rtcomp/internal/fragstore"
 	"rtcomp/internal/raster"
 	"rtcomp/internal/schedule"
+	"rtcomp/internal/statexfer"
 	"rtcomp/internal/telemetry"
 )
 
@@ -79,6 +80,16 @@ type rexec struct {
 	// noticeSent guards the one FAILED notice this rank may broadcast per
 	// epoch (the notice tag is unique per epoch).
 	noticeSent bool
+
+	// maxRec and agreeTO are the resolved recovery budget and agreement
+	// timeout (see runRecover); loop() shares them with the spare path.
+	maxRec  int
+	agreeTO time.Duration
+
+	// scrub fingerprints the held replicas so the scrub exchange (and a
+	// rejoin's ward verification) can detect silent corruption. Nil unless
+	// Options.ScrubReplicas is set.
+	scrub *statexfer.Scrubber
 }
 
 // abort broadcasts this epoch's FAILED notice (once) naming the suspected
@@ -143,16 +154,18 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		agreeTO = 3 * opts.RecvTimeout
 	}
 	rx := &rexec{
-		c:     c,
-		sched: sched,
-		local: local,
-		opts:  opts,
-		cdc:   cdc,
-		rep:   &Report{Rank: c.Rank()},
-		tel:   opts.Telemetry,
-		me:    c.Rank(),
-		mem:   comm.NewMembership(sched.P),
-		scr:   newRunScratch(),
+		c:       c,
+		sched:   sched,
+		local:   local,
+		opts:    opts,
+		cdc:     cdc,
+		rep:     &Report{Rank: c.Rank()},
+		tel:     opts.Telemetry,
+		me:      c.Rank(),
+		mem:     comm.NewMembership(sched.P),
+		scr:     newRunScratch(),
+		maxRec:  maxRec,
+		agreeTO: agreeTO,
 	}
 	defer rx.scr.release()
 	if src := opts.Pipeline.Source; opts.Pipeline.Enabled && src != nil {
@@ -171,16 +184,38 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		return nil, nil, err
 	}
 	rx.replicas = replicas
+	if opts.ScrubReplicas {
+		// The scrub exchange runs even on an aborted epoch 0: every rank
+		// participates in lockstep (the exchange kept collecting replicas
+		// until its deadline), so the protocol stays matched; a rank that
+		// died mid-exchange just surfaces as one more deadline-driven abort.
+		scrubAborted, err := rx.scrubReplicas()
+		if err != nil {
+			return nil, nil, err
+		}
+		aborted = aborted || scrubAborted
+	}
+	return rx.loop(aborted)
+}
 
+// loop is the epoch engine shared by the survivors (runRecover) and a
+// rejoined spare (RunSpare): attempt, agreement, commit-or-advance, bounded
+// rejoin of spares after every membership change, and the compose-partial
+// fallback once the budget is spent or the dead set is unrecoverable.
+func (rx *rexec) loop(aborted bool) (*raster.Image, *Report, error) {
+	c, sched, opts := rx.c, rx.sched, rx.opts
 	recoveries := 0
 	var final *raster.Image
+	var err error
 	for {
 		if !aborted {
-			plan, owners := sched, []int(nil)
-			if rx.mem.NumDead() > 0 {
-				if plan, owners, err = schedule.Repair(sched, rx.mem.Dead()); err != nil {
-					return nil, nil, err
-				}
+			var plan *schedule.Schedule
+			var owners []int
+			// Restore reverts to the original schedule (and owner map) when
+			// every failed rank has rejoined — the healed mesh composites at
+			// full pre-failure capacity.
+			if plan, owners, err = schedule.Restore(sched, rx.mem.Dead()); err != nil {
+				return nil, nil, err
 			}
 			var endRecover func()
 			if rx.mem.Epoch() > 0 {
@@ -192,9 +227,9 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 				// returning, so an aborted attempt reaches the agreement
 				// below fully quiesced; re-executions over repaired
 				// schedules run synchronously.
-				final, aborted, err = runPipelined(c, plan, local, opts, cdc, rx.rep, rx)
+				final, aborted, err = runPipelined(c, plan, rx.local, opts, rx.cdc, rx.rep, rx)
 			} else {
-				final, aborted, err = rx.epochAttempt(plan, owners, replicas)
+				final, aborted, err = rx.epochAttempt(plan, owners, rx.replicas)
 			}
 			if endRecover != nil {
 				endRecover()
@@ -205,7 +240,7 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		}
 
 		endAgree := rx.tel.Span(rx.me, telemetry.PhaseAgree, telemetry.CatNetwork, telemetry.StepNone)
-		newDead, err := comm.Agree(c, rx.mem, agreeTO)
+		newDead, err := comm.Agree(c, rx.mem, rx.agreeTO)
 		endAgree()
 		if err != nil {
 			// Includes comm.ErrEvicted: the survivors condemned this rank
@@ -232,8 +267,26 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 		rx.tel.Flight(rx.me, telemetry.FlightEpoch, telemetry.StepNone, -1, -1, "epoch advanced")
 		rx.noticeSent = false
 		aborted = false
+		if opts.RejoinTimeout > 0 && rx.mem.NumDead() > 0 {
+			// Before deciding whether to degrade, give any registered spare a
+			// bounded window to take over a dead slot. A successful rejoin
+			// resets the recovery budget: the healed mesh is not still
+			// charged for the failure it already repaired.
+			rejoined, err := rx.attemptRejoin()
+			if err != nil {
+				return nil, nil, err
+			}
+			if rejoined > 0 {
+				recoveries = 0
+			}
+		}
 		_, recoverable := schedule.RepairOwners(sched.P, rx.mem.Dead())
-		if recoveries >= maxRec || !recoverable {
+		if recoveries >= rx.maxRec || !recoverable {
+			if opts.RejoinTimeout > 0 {
+				// A spare was consulted and none arrived in time; record the
+				// typed timeout so the degradation is attributable.
+				rx.tel.Flight(rx.me, telemetry.FlightJoin, telemetry.StepNone, -1, -1, "rejoin timeout, degrading")
+			}
 			break
 		}
 		recoveries++
@@ -256,7 +309,7 @@ func runRecover(c comm.Comm, sched *schedule.Schedule, local *raster.Image, opts
 	fopts := opts
 	fopts.OnMissing = ComposePartial
 	rx.rep.resetDegradation()
-	final, err = runOnce(c, plan, local, fopts, cdc, rx.rep, rx.mem.Epoch(), owners, replicas, dead, rx.scr)
+	final, err = runOnce(c, plan, rx.local, fopts, rx.cdc, rx.rep, rx.mem.Epoch(), owners, rx.replicas, dead, rx.scr)
 	if err != nil {
 		return nil, nil, err
 	}

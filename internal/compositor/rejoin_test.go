@@ -1,0 +1,594 @@
+package compositor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rtcomp/internal/codec"
+	"rtcomp/internal/comm"
+	"rtcomp/internal/raster"
+	"rtcomp/internal/schedule"
+	"rtcomp/internal/statexfer"
+	"rtcomp/internal/telemetry"
+	"rtcomp/internal/transport/faulty"
+	"rtcomp/internal/transport/inproc"
+)
+
+// The rejoin suite asserts the self-healing contract: a rank killed
+// mid-frame is replaced by a spare via merkle-verified state transfer, the
+// healed mesh commits the byte-identical fault-free image at full capacity
+// (Rejoined, never Recovered/Degraded), a corrupt transfer is rejected with
+// a typed error while the survivors still recover, and the replica scrubber
+// detects and repairs silent replica corruption before it is ever needed.
+
+// errEpochKill is the injected post-rejoin death: a deterministic,
+// timing-independent kill keyed to the recovery epoch carried in bits 56+
+// of every non-negative composition tag.
+var errEpochKill = errors.New("rejoin test: endpoint killed at epoch threshold")
+
+// epochKiller wraps a comm endpoint and dies the first time it sends
+// composition traffic (a non-negative tag) at or above the given epoch —
+// the deterministic way to kill a rank "after the rejoin", since hello
+// rebroadcast counts make send-counting nondeterministic.
+type epochKiller struct {
+	inner comm.Comm
+	epoch int
+	dead  bool
+}
+
+func (k *epochKiller) Rank() int { return k.inner.Rank() }
+func (k *epochKiller) Size() int { return k.inner.Size() }
+
+func (k *epochKiller) Send(to, tag int, payload []byte) error {
+	if !k.dead && tag >= 0 && tag>>56 >= k.epoch {
+		k.dead = true
+	}
+	if k.dead {
+		return errEpochKill
+	}
+	return k.inner.Send(to, tag, payload)
+}
+
+func (k *epochKiller) Recv(from, tag int) ([]byte, error) {
+	if k.dead {
+		return nil, errEpochKill
+	}
+	return k.inner.Recv(from, tag)
+}
+
+func (k *epochKiller) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
+	if k.dead {
+		return nil, errEpochKill
+	}
+	return k.inner.RecvTimeout(from, tag, timeout)
+}
+
+func (k *epochKiller) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	if k.dead {
+		return 0, 0, nil, errEpochKill
+	}
+	return k.inner.RecvAny(keys)
+}
+
+func (k *epochKiller) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
+	if k.dead {
+		return 0, 0, nil, errEpochKill
+	}
+	return k.inner.RecvAnyTimeout(keys, timeout)
+}
+
+func (k *epochKiller) Counters() comm.Counters { return k.inner.Counters() }
+func (k *epochKiller) Close() error            { return k.inner.Close() }
+
+// spareSpec is one standby incarnation queued for a rank slot. killEpoch > 0
+// wraps the spare in an epochKiller so it dies on its first composition send
+// at or above that epoch — the repeated-death scenario.
+type spareSpec struct {
+	killEpoch int
+}
+
+type rejoinOutcome struct {
+	final     *raster.Image
+	reports   []*Report // first (member) incarnation per rank
+	errs      []error
+	spareReps map[int][]*Report // per rank slot, in launch order
+	spareErrs map[int][]error
+}
+
+// runRejoinCase runs the schedule on a manually-managed fabric so dead rank
+// slots can be reattached: each rank's goroutine runs the member incarnation
+// and then, when it returns, launches the queued spares for that slot in
+// order. dieAfter kills members by send count (1 = right after the replica
+// ships); epochKill kills members at an epoch threshold (for post-rejoin
+// buddy deaths).
+func runRejoinCase(t *testing.T, sched *schedule.Schedule, layers []*raster.Image,
+	dieAfter map[int]int, epochKill map[int]int, spares map[int][]spareSpec, opts Options) rejoinOutcome {
+	t.Helper()
+	p := sched.P
+	out := rejoinOutcome{
+		reports:   make([]*Report, p),
+		errs:      make([]error, p),
+		spareReps: map[int][]*Report{},
+		spareErrs: map[int][]error{},
+	}
+	for r, ss := range spares {
+		out.spareReps[r] = make([]*Report, len(ss))
+		out.spareErrs[r] = make([]error, len(ss))
+	}
+	f := inproc.New(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := f.Endpoint(r)
+			var c comm.Comm = faulty.Wrap(ep, faulty.Plan{Seed: 41, DieAfterSends: dieAfter[r]})
+			if ke := epochKill[r]; ke > 0 {
+				c = &epochKiller{inner: c, epoch: ke}
+			}
+			img, rep, err := Run(c, sched, layers[r], opts)
+			ep.Close()
+			out.reports[r] = rep
+			out.errs[r] = err
+			if img != nil && r == 0 {
+				out.final = img
+			}
+			for i, sp := range spares[r] {
+				sep := f.Reattach(r)
+				// The members speak through the faulty framing layer (CRC
+				// trailers); the spare must too, or its hellos are discarded
+				// as corrupt frames.
+				var sc comm.Comm = faulty.Wrap(sep, faulty.Plan{Seed: 41})
+				if sp.killEpoch > 0 {
+					sc = &epochKiller{inner: sc, epoch: sp.killEpoch}
+				}
+				simg, srep, serr := RunSpare(sc, sched, opts)
+				sep.Close()
+				out.spareReps[r][i] = srep
+				out.spareErrs[r][i] = serr
+				if simg != nil && r == 0 {
+					out.final = simg
+				}
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("rejoin case HUNG: schedule did not terminate within the watchdog")
+	}
+	return out
+}
+
+func rejoinOptions(cdc codec.Codec) Options {
+	o := recoverOptions(cdc)
+	o.RejoinTimeout = 10 * time.Second
+	return o
+}
+
+// assertHealedRun asserts the headline invariant on a fully healed run: the
+// root's image is byte-identical to the fault-free golden, and every
+// survivor committed at full capacity — Rejoined, not Recovered, never
+// Degraded, never evicted.
+func assertHealedRun(t *testing.T, o rejoinOutcome, want *raster.Image, survivors []int, wantRejoins int) {
+	t.Helper()
+	for _, r := range survivors {
+		if err := o.errs[r]; err != nil {
+			t.Errorf("survivor rank %d failed: %v", r, err)
+			continue
+		}
+		rep := o.reports[r]
+		if rep == nil {
+			t.Errorf("survivor rank %d has no report", r)
+			continue
+		}
+		if rep.Degraded {
+			t.Errorf("rank %d flagged Degraded on a healed run", r)
+		}
+		if rep.Recovered {
+			t.Errorf("rank %d flagged Recovered on a run that healed to full capacity", r)
+		}
+		if !rep.Rejoined {
+			t.Errorf("rank %d did not flag Rejoined", r)
+		}
+		if rep.RejoinEpochs != wantRejoins {
+			t.Errorf("rank %d RejoinEpochs = %d, want %d", r, rep.RejoinEpochs, wantRejoins)
+		}
+	}
+	if o.final == nil {
+		t.Fatal("no final image on the root")
+	}
+	if !raster.Equal(o.final, want) {
+		t.Fatalf("healed image differs from fault-free golden: maxdiff=%d", raster.MaxDiff(o.final, want))
+	}
+}
+
+// TestRejoinSingleDeath: one rank killed after its replica ships, a spare
+// queued for the slot — the run must heal and commit the byte-identical
+// fault-free image, across every method and every wire codec.
+func TestRejoinSingleDeath(t *testing.T) {
+	codecs := []string{"raw", "rle", "trle"}
+	for name, sched := range chaosSchedules(t) {
+		for ci, cname := range codecs {
+			die := 1 + ci%(sched.P-1)
+			t.Run(fmt.Sprintf("%s/%s/kill%d", name, cname, die), func(t *testing.T) {
+				t.Parallel()
+				cdc, err := codec.ByName(cname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				layers, want := chaosLayers(51, sched.P)
+				o := runRejoinCase(t, sched, layers,
+					map[int]int{die: 1}, nil,
+					map[int][]spareSpec{die: {{}}},
+					rejoinOptions(cdc))
+				if err := o.errs[die]; err == nil || !errors.Is(err, faulty.ErrDead) {
+					t.Errorf("dead rank error = %v, want ErrDead", err)
+				}
+				if err := o.spareErrs[die][0]; err != nil {
+					t.Fatalf("spare for rank %d failed: %v", die, err)
+				}
+				srep := o.spareReps[die][0]
+				if srep == nil || !srep.Rejoined || len(srep.RejoinedRanks) != 1 || srep.RejoinedRanks[0] != die {
+					t.Errorf("spare report = %+v, want Rejoined with RejoinedRanks [%d]", srep, die)
+				}
+				var survivors []int
+				for r := 0; r < sched.P; r++ {
+					if r != die {
+						survivors = append(survivors, r)
+					}
+				}
+				assertHealedRun(t, o, want, survivors, 1)
+				for _, r := range survivors {
+					if rep := o.reports[r]; rep != nil && (len(rep.RejoinedRanks) != 1 || rep.RejoinedRanks[0] != die) {
+						t.Errorf("rank %d RejoinedRanks = %v, want [%d]", r, rep.RejoinedRanks, die)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRejoinThenBuddyDeath is the headline chaos scenario: kill rank 2, let
+// its spare rejoin, then kill rank 3 — the buddy holding rank 2's replica —
+// and let a spare rejoin that slot too. The frame must still commit
+// byte-identical at full capacity with zero false evictions, and with
+// MaxRecoveries=1 the run only succeeds because a successful rejoin resets
+// the recovery budget.
+func TestRejoinThenBuddyDeath(t *testing.T) {
+	for _, maxRec := range []int{0, 1} { // 0 = default budget
+		t.Run(fmt.Sprintf("maxrec=%d", maxRec), func(t *testing.T) {
+			t.Parallel()
+			sched, err := schedule.NRT(4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			layers, want := chaosLayers(52, sched.P)
+			opts := rejoinOptions(codec.TRLE{})
+			opts.MaxRecoveries = maxRec
+			o := runRejoinCase(t, sched, layers,
+				map[int]int{2: 1}, // rank 2 dies right after its replica ships
+				map[int]int{3: 2}, // rank 3 dies on its first post-rejoin epoch
+				map[int][]spareSpec{2: {{}}, 3: {{}}},
+				opts)
+			if err := o.errs[2]; err == nil || !errors.Is(err, faulty.ErrDead) {
+				t.Errorf("rank 2 error = %v, want ErrDead", err)
+			}
+			if err := o.errs[3]; err == nil || !errors.Is(err, errEpochKill) {
+				t.Errorf("rank 3 error = %v, want errEpochKill", err)
+			}
+			for _, r := range []int{2, 3} {
+				if err := o.spareErrs[r][0]; err != nil {
+					t.Fatalf("spare for rank %d failed: %v", r, err)
+				}
+			}
+			assertHealedRun(t, o, want, []int{0, 1}, 2)
+		})
+	}
+}
+
+// TestRejoinRepeatedDeathSameRank: the same logical rank dies, rejoins,
+// dies again, and a second spare rejoins — across every schedule method and
+// every wire codec, the healed frame must stay byte-identical to the
+// fault-free oracle.
+func TestRejoinRepeatedDeathSameRank(t *testing.T) {
+	codecs := []string{"raw", "rle", "trle"}
+	for name, sched := range chaosSchedules(t) {
+		for ci, cname := range codecs {
+			die := 1 + ci%(sched.P-1)
+			t.Run(fmt.Sprintf("%s/%s/kill%d", name, cname, die), func(t *testing.T) {
+				t.Parallel()
+				cdc, err := codec.ByName(cname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				layers, want := chaosLayers(53, sched.P)
+				o := runRejoinCase(t, sched, layers,
+					map[int]int{die: 1}, nil,
+					// First spare dies on its first composition send after
+					// rejoining; the second one lives.
+					map[int][]spareSpec{die: {{killEpoch: 1}, {}}},
+					rejoinOptions(cdc))
+				if err := o.spareErrs[die][0]; err == nil || !errors.Is(err, errEpochKill) {
+					t.Errorf("first spare error = %v, want errEpochKill", err)
+				}
+				if err := o.spareErrs[die][1]; err != nil {
+					t.Fatalf("second spare failed: %v", err)
+				}
+				var survivors []int
+				for r := 0; r < sched.P; r++ {
+					if r != die {
+						survivors = append(survivors, r)
+					}
+				}
+				assertHealedRun(t, o, want, survivors, 2)
+			})
+		}
+	}
+}
+
+// TestRejoinCorruptTransferRejected: the sponsor's chunk stream is corrupted
+// in flight; the spare must reject the transfer with the typed merkle
+// mismatch, and the survivors must fall back to ordinary recovery — still
+// byte-identical, just not rejoined.
+func TestRejoinCorruptTransferRejected(t *testing.T) {
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	die := 2
+	sponsor := schedule.Buddy(die, sched.P) // rank 3
+	layers, want := chaosLayers(54, sched.P)
+	opts := rejoinOptions(codec.Raw{})
+	opts.RejoinTimeout = 2 * time.Second // the failed join must not stall the frame long
+
+	p := sched.P
+	reports := make([]*Report, p)
+	errs := make([]error, p)
+	var spareErr error
+	var spareRep *Report
+	var final *raster.Image
+	f := inproc.New(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep := f.Endpoint(r)
+			var c comm.Comm = faulty.Wrap(ep, faulty.Plan{Seed: 41, DieAfterSends: map[bool]int{true: 1}[r == die]})
+			if r == sponsor {
+				c = &xferCorrupter{inner: c}
+			}
+			img, rep, err := Run(c, sched, layers[r], opts)
+			ep.Close()
+			reports[r] = rep
+			errs[r] = err
+			if img != nil && r == 0 {
+				final = img
+			}
+			if r == die {
+				sep := f.Reattach(r)
+				_, spareRep, spareErr = RunSpare(faulty.Wrap(sep, faulty.Plan{Seed: 41}), sched, opts)
+				sep.Close()
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("corrupt-transfer case HUNG")
+	}
+
+	if spareErr == nil || !errors.Is(spareErr, statexfer.ErrChunkMismatch) {
+		t.Fatalf("spare error = %v, want statexfer.ErrChunkMismatch", spareErr)
+	}
+	if spareRep != nil {
+		t.Errorf("rejected spare still produced a report: %+v", spareRep)
+	}
+	for _, r := range []int{0, 1, 3} {
+		if errs[r] != nil {
+			t.Errorf("survivor rank %d failed: %v", r, errs[r])
+			continue
+		}
+		rep := reports[r]
+		if rep.Rejoined {
+			t.Errorf("rank %d flagged Rejoined after a rejected transfer", r)
+		}
+		if !rep.Recovered || rep.Degraded {
+			t.Errorf("rank %d must recover cleanly without the spare: %+v", r, rep)
+		}
+	}
+	if final == nil || !raster.Equal(final, want) {
+		t.Fatal("survivors did not produce the byte-identical image after the rejected join")
+	}
+}
+
+// xferCorrupter flips a payload byte on every join state-transfer chunk this
+// endpoint sends, leaving all other traffic intact.
+type xferCorrupter struct {
+	inner comm.Comm
+}
+
+func isXferTag(tag int) bool {
+	base := comm.JoinXferTag(0, 0)
+	return tag <= base && tag > 2*base
+}
+
+func (x *xferCorrupter) Rank() int { return x.inner.Rank() }
+func (x *xferCorrupter) Size() int { return x.inner.Size() }
+func (x *xferCorrupter) Send(to, tag int, payload []byte) error {
+	if isXferTag(tag) && len(payload) > 8 {
+		mangled := append([]byte(nil), payload...)
+		mangled[8] ^= 0xA5 // inside the chunk data for any realistic chunk
+		return x.inner.Send(to, tag, mangled)
+	}
+	return x.inner.Send(to, tag, payload)
+}
+func (x *xferCorrupter) Recv(from, tag int) ([]byte, error) { return x.inner.Recv(from, tag) }
+func (x *xferCorrupter) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, error) {
+	return x.inner.RecvTimeout(from, tag, timeout)
+}
+func (x *xferCorrupter) RecvAny(keys []comm.MsgKey) (int, int, []byte, error) {
+	return x.inner.RecvAny(keys)
+}
+func (x *xferCorrupter) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (int, int, []byte, error) {
+	return x.inner.RecvAnyTimeout(keys, timeout)
+}
+func (x *xferCorrupter) Counters() comm.Counters { return x.inner.Counters() }
+func (x *xferCorrupter) Close() error            { return x.inner.Close() }
+
+// TestRejoinTimeout asserts both halves of the bounded-window contract:
+// without a spare the survivors degrade to ordinary recovery after the
+// window, and a spare facing a mesh that never admits it returns the typed
+// *RejoinTimeoutError.
+func TestRejoinTimeout(t *testing.T) {
+	t.Run("no-spare-degrades-to-recovery", func(t *testing.T) {
+		t.Parallel()
+		sched, err := schedule.BinarySwap(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers, want := chaosLayers(55, sched.P)
+		opts := rejoinOptions(codec.RLE{})
+		opts.RejoinTimeout = 300 * time.Millisecond
+		o := runRecoverCase(t, sched, layers, map[int]int{2: 1}, opts)
+		for _, r := range []int{0, 1, 3} {
+			if o.errs[r] != nil {
+				t.Errorf("survivor rank %d failed: %v", r, o.errs[r])
+				continue
+			}
+			rep := o.reports[r]
+			if !rep.Recovered || rep.Degraded || rep.Rejoined {
+				t.Errorf("rank %d must fall back to plain recovery: %+v", r, rep)
+			}
+		}
+		if o.final == nil || !raster.Equal(o.final, want) {
+			t.Fatal("recovery after the rejoin window did not reproduce the golden image")
+		}
+	})
+	t.Run("unadmitted-spare-times-out", func(t *testing.T) {
+		t.Parallel()
+		sched, err := schedule.BinarySwap(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := inproc.New(sched.P)
+		ep := f.Endpoint(2)
+		defer ep.Close()
+		opts := rejoinOptions(codec.Raw{})
+		opts.RejoinTimeout = 400 * time.Millisecond
+		_, _, err = RunSpare(ep, sched, opts)
+		var te *RejoinTimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("RunSpare error = %v, want *RejoinTimeoutError", err)
+		}
+		if te.Timeout != opts.RejoinTimeout || len(te.Ranks) != 1 || te.Ranks[0] != 2 {
+			t.Errorf("timeout error = %+v, want rank 2 at %v", te, opts.RejoinTimeout)
+		}
+	})
+}
+
+// TestScrubDetectsAndRepairs: a holder's ward replica is silently corrupted
+// after its fingerprint is recorded; the scrub exchange must detect the rot,
+// repair it from the live copy, and a subsequent death of the ward must
+// still recover byte-identical — proving the repaired replica, not the
+// corrupt one, fed the recovery.
+func TestScrubDetectsAndRepairs(t *testing.T) {
+	sched, err := schedule.NRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ward, holder := 2, schedule.Buddy(2, sched.P) // rank 3 holds rank 2's replica
+	layers, want := chaosLayers(56, sched.P)
+	rec := telemetry.New()
+	opts := recoverOptions(codec.Raw{})
+	opts.ScrubReplicas = true
+	opts.Telemetry = rec
+	opts.hookReplicas = func(rank int, replicas map[int]*raster.Image) {
+		if rank != holder {
+			return
+		}
+		if img := replicas[ward]; img != nil {
+			for i := range img.Pix {
+				img.Pix[i] ^= 0xFF // silent rot: every byte flipped
+			}
+		}
+	}
+	// The ward survives the scrub exchange (replica, scrub request, scrub
+	// refresh = 3 sends) and dies on its first composition send.
+	o := runRecoverCase(t, sched, layers, map[int]int{ward: 3}, opts)
+	if err := o.errs[ward]; err == nil || !errors.Is(err, faulty.ErrDead) {
+		t.Errorf("ward error = %v, want ErrDead", err)
+	}
+	for _, r := range []int{0, 1, 3} {
+		if o.errs[r] != nil {
+			t.Errorf("survivor rank %d failed: %v", r, o.errs[r])
+			continue
+		}
+		rep := o.reports[r]
+		if !rep.Recovered || rep.Degraded {
+			t.Errorf("rank %d did not recover cleanly: %+v", r, rep)
+		}
+	}
+	if o.final == nil {
+		t.Fatal("no final image on the root")
+	}
+	if !raster.Equal(o.final, want) {
+		t.Fatalf("recovery from the scrubbed replica differs from golden: maxdiff=%d — the corrupt copy leaked through",
+			raster.MaxDiff(o.final, want))
+	}
+	ctrs := rec.Counters()
+	if n := ctrs[telemetry.CounterKey{Rank: holder, Step: telemetry.StepNone, Name: telemetry.CtrScrubRepaired}]; n < 1 {
+		t.Errorf("holder scrub_repaired = %d, want >= 1", n)
+	}
+	if n := ctrs[telemetry.CounterKey{Rank: holder, Step: telemetry.StepNone, Name: telemetry.CtrScrubFailed}]; n != 0 {
+		t.Errorf("holder scrub_failed = %d, want 0", n)
+	}
+	okTotal := int64(0)
+	for r := 0; r < sched.P; r++ {
+		okTotal += ctrs[telemetry.CounterKey{Rank: r, Step: telemetry.StepNone, Name: telemetry.CtrScrubOK}]
+	}
+	if okTotal < int64(sched.P-1) {
+		t.Errorf("scrub_ok total = %d, want >= %d (every untouched replica verifies)", okTotal, sched.P-1)
+	}
+}
+
+// TestScrubCleanPassIsInvisible: with scrubbing on and nothing corrupted,
+// the exchange must be a no-op — clean image, zero repairs, all replicas ok.
+func TestScrubCleanPassIsInvisible(t *testing.T) {
+	sched, err := schedule.TwoNRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, want := chaosLayers(57, sched.P)
+	rec := telemetry.New()
+	opts := recoverOptions(codec.TRLE{})
+	opts.ScrubReplicas = true
+	opts.Telemetry = rec
+	o := runRecoverCase(t, sched, layers, nil, opts)
+	for r, err := range o.errs {
+		if err != nil {
+			t.Errorf("rank %d failed: %v", r, err)
+		}
+	}
+	if o.final == nil || !raster.Equal(o.final, want) {
+		t.Fatal("clean scrubbed run did not reproduce the reference image")
+	}
+	ctrs := rec.Counters()
+	var ok, repaired, failed int64
+	for r := 0; r < sched.P; r++ {
+		ok += ctrs[telemetry.CounterKey{Rank: r, Step: telemetry.StepNone, Name: telemetry.CtrScrubOK}]
+		repaired += ctrs[telemetry.CounterKey{Rank: r, Step: telemetry.StepNone, Name: telemetry.CtrScrubRepaired}]
+		failed += ctrs[telemetry.CounterKey{Rank: r, Step: telemetry.StepNone, Name: telemetry.CtrScrubFailed}]
+	}
+	if ok != int64(sched.P) || repaired != 0 || failed != 0 {
+		t.Errorf("clean scrub counters ok=%d repaired=%d failed=%d, want %d/0/0", ok, repaired, failed, sched.P)
+	}
+}

@@ -161,6 +161,17 @@ type Config struct {
 	// MaxRecoveries bounds the "recover" policy's re-executions; zero means
 	// the compositor default, negative forbids re-execution.
 	MaxRecoveries int
+	// RejoinTimeout, positive, enables the self-healing join path of the
+	// "recover" policy: after a membership change the survivors wait this
+	// long for a registered spare (SpareRank) to take over a dead slot via
+	// merkle-verified state transfer before degrading. Must be identical on
+	// every rank. Zero disables rejoin.
+	RejoinTimeout time.Duration
+	// ScrubReplicas runs the replica scrub exchange after the buddy
+	// replica exchange: every holder re-hashes its ward replicas and
+	// repairs silent corruption from the live copy. Must be identical on
+	// every rank.
+	ScrubReplicas bool
 	// Pipeline switches composition from the bulk-synchronous step loop to
 	// the message-driven per-tile pipeline: composition starts as soon as
 	// the first tile's rows are rendered (1-D partition, plain renderer),
@@ -214,6 +225,8 @@ func (cfg Config) compositeOptions(cdc codec.Codec, rank int) (compositor.Option
 		RecvTimeout:   cfg.RecvTimeout,
 		OnMissing:     policy,
 		MaxRecoveries: cfg.MaxRecoveries,
+		RejoinTimeout: cfg.RejoinTimeout,
+		ScrubReplicas: cfg.ScrubReplicas,
 		Telemetry:     cfg.Telemetry,
 		Pipeline: compositor.PipelineConfig{
 			Enabled:        cfg.Pipeline,
@@ -472,6 +485,55 @@ func RenderRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, err
 	inter, rep, err := compositor.Run(c, sched, partial, copts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if inter == nil {
+		return nil, rep, nil
+	}
+	endWarp := cfg.Telemetry.Span(c.Rank(), telemetry.PhaseWarp, telemetry.CatCompute, telemetry.StepNone)
+	final, err := r.Warp(view, inter, cfg.Width, cfg.Height)
+	endWarp()
+	if err != nil {
+		return nil, nil, err
+	}
+	return final, rep, nil
+}
+
+// SpareRank runs one standby rank of the multi-process deployment: instead
+// of rendering, it announces itself for the dead slot c.Rank(), restores its
+// state from the mesh's merkle-verified transfer, and finishes the frame as
+// a full member (cmd/rtnode -spare). Requires the "recover" policy with a
+// positive RecvTimeout, and a positive RejoinTimeout bounding the wait for
+// admission. Returns the final warped image when this slot is the gather
+// root, like RenderRank.
+func SpareRank(c comm.Comm, cfg Config) (*raster.Image, *compositor.Report, error) {
+	vol := volume.ByName(cfg.Dataset, cfg.VolumeN)
+	if vol == nil {
+		return nil, nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	r := &shearwarp.Renderer{Vol: vol, TF: xfer.ForDataset(cfg.Dataset)}
+	view, err := r.Factor(cfg.Camera)
+	if err != nil {
+		return nil, nil, err
+	}
+	method, err := cfg.Method.ResolveN(cfg.P, cfg.Width*cfg.Height)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := method.Schedule(cfg.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	cdc, err := codec.ByName(cfg.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	copts, err := cfg.compositeOptions(cdc, c.Rank())
+	if err != nil {
+		return nil, nil, err
+	}
+	inter, rep, err := compositor.RunSpare(c, sched, copts)
+	if err != nil {
+		return nil, rep, err
 	}
 	if inter == nil {
 		return nil, rep, nil

@@ -72,6 +72,18 @@ func RepairOwners(p int, dead []int) (owners []int, recoverable bool) {
 	return owners, recoverable
 }
 
+// Restore re-plans after the mesh healed: with no ranks still dead the
+// original schedule comes back verbatim with a nil owner map (every layer
+// staged at its own rank) — the merge tree reverts to its pre-failure shape,
+// which is what makes a post-rejoin frame byte-identical to the fault-free
+// run. Any ranks still dead go through Repair as usual.
+func Restore(s *Schedule, stillDead []int) (*Schedule, []int, error) {
+	if len(stillDead) == 0 {
+		return s, nil, nil
+	}
+	return Repair(s, stillDead)
+}
+
 // Repair re-plans the composition over the survivors of s.P ranks after the
 // given ranks died. The returned owners slice (length P) maps each layer to
 // the rank staging it (-1 = unrecoverable, left absent; the caller decides

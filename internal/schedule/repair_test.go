@@ -205,3 +205,31 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestRestoreRevertsToOriginal: after the mesh heals (empty dead set) the
+// restored plan must be the original schedule pointer with a nil owner map,
+// and with deaths remaining it must match Repair exactly.
+func TestRestoreRevertsToOriginal(t *testing.T) {
+	s, err := NRT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, owners, err := Restore(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != s || owners != nil {
+		t.Fatalf("Restore with no dead ranks did not revert: plan=%p owners=%v", plan, owners)
+	}
+	restored, rOwners, err := Restore(s, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, pOwners, err := Repair(s, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rOwners, pOwners) || len(allTransfers(restored)) != len(allTransfers(repaired)) {
+		t.Fatalf("Restore with dead ranks diverged from Repair: %v vs %v", rOwners, pOwners)
+	}
+}

@@ -35,6 +35,7 @@ const (
 	FlightHedge                             // a speculative replica request, reply or race outcome
 	FlightGray                              // a peer-health transition (gray, recovered, escalated)
 	FlightAdmit                             // an admission-control decision (shed, queued, admitted)
+	FlightJoin                              // a spare rejoin event (hello, admit, transfer, revive, timeout)
 )
 
 // String names the kind for dumps.
@@ -62,6 +63,8 @@ func (k FlightKind) String() string {
 		return "gray"
 	case FlightAdmit:
 		return "admit"
+	case FlightJoin:
+		return "join"
 	default:
 		return "unknown"
 	}

@@ -41,6 +41,9 @@ const (
 	PhaseReplicate = "replicate" // buddy replication exchange before step 1
 	PhaseAgree     = "agree"     // membership agreement rounds
 	PhaseRecover   = "recover"   // a recovery re-execution epoch
+	PhaseJoin      = "join"      // spare rejoin: hello drain, join agreement, admission
+	PhaseXfer      = "xfer"      // merkle-verified state transfer (stream or verify side)
+	PhaseScrub     = "scrub"     // replica scrub-and-repair exchange
 
 	// PhaseTile is one tile's full pipelined state machine (stage through
 	// gather) on one rank; the span's step field carries the tile index, so
@@ -80,6 +83,13 @@ const (
 	CtrFailNotices      = "fail_notices"       // FAILED notices broadcast by this rank
 	CtrRecoveryEpochs   = "recovery_epochs"    // composition epochs re-executed after agreement
 	CtrRecoveredRanks   = "recovered_ranks"    // dead ranks whose layers were recovered from replicas
+
+	CtrRejoins              = "rejoins"                // spare ranks revived into the mesh
+	CtrRejoinVerifiedChunks = "rejoin_verified_chunks" // state-transfer chunks verified against the certified root
+	CtrRejoinRejectedChunks = "rejoin_rejected_chunks" // state-transfer chunks rejected (corrupt or stale)
+	CtrScrubOK              = "scrub_ok"               // replica scrubs that matched their fingerprint
+	CtrScrubRepaired        = "scrub_repaired"         // corrupt replicas repaired from the live copy
+	CtrScrubFailed          = "scrub_failed"           // corrupt replicas whose repair also failed
 
 	CtrPoolHit   = "pool_hit"   // buffer-pool gets served from a free list
 	CtrPoolMiss  = "pool_miss"  // buffer-pool gets that had to allocate

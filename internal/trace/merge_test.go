@@ -217,3 +217,60 @@ func TestWriteChromeSpansFlowsOrderAndShape(t *testing.T) {
 		t.Fatalf("span event serialized flow fields: %s", raw)
 	}
 }
+
+// A self-healing run's join, state-transfer and scrub spans must survive the
+// per-rank export/merge round trip onto the merged timeline: a survivor file
+// carrying the join-agreement span and a rejoined spare's file carrying its
+// join wait, chunk transfer and scrub work all land as complete events under
+// their phase names.
+func TestMergeRendersJoinAndTransferSpans(t *testing.T) {
+	us := func(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+	survivor := []telemetry.Span{
+		{Rank: 0, Name: telemetry.PhaseAgree, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: 0, End: us(40)},
+		{Rank: 0, Name: telemetry.PhaseJoin, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: us(40), End: us(120)},
+		{Rank: 0, Name: telemetry.PhaseXfer, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: us(80), End: us(110)},
+	}
+	spare := []telemetry.Span{
+		{Rank: 1, Name: telemetry.PhaseJoin, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: us(10), End: us(90)},
+		{Rank: 1, Name: telemetry.PhaseXfer, Cat: telemetry.CatNetwork, Step: telemetry.StepNone, Start: us(90), End: us(115)},
+		{Rank: 1, Name: telemetry.PhaseScrub, Cat: telemetry.CatCompute, Step: telemetry.StepNone, Start: us(115), End: us(125)},
+	}
+	var f0, f1 bytes.Buffer
+	if err := WriteChromeSpansFlows(&f0, survivor, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeSpansFlows(&f1, spare, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeReaders(&f0, &f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := m.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(out.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{ // phase name -> ranks that must carry it
+		telemetry.PhaseJoin:  {0, 1},
+		telemetry.PhaseXfer:  {0, 1},
+		telemetry.PhaseScrub: {1},
+	}
+	for name, ranks := range want {
+		for _, rank := range ranks {
+			found := false
+			for _, ev := range evs {
+				if ev.Ph == "X" && ev.Name == name && ev.PID == rank && ev.Dur > 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("merged timeline is missing the %q span of rank %d", name, rank)
+			}
+		}
+	}
+}

@@ -21,7 +21,7 @@ import (
 // each rank's goroutine its endpoint from Endpoint.
 type Fabric struct {
 	size  int
-	boxes []*mbox.Mailbox
+	boxes []atomic.Pointer[mbox.Mailbox] // atomic: Reattach swaps a box while senders read it
 	tel   *telemetry.Recorder
 	seq   atomic.Uint32 // trace-context sequence mint, shared across ranks
 }
@@ -37,9 +37,9 @@ func New(p int) *Fabric {
 	if p < 1 {
 		panic("inproc: fabric needs p >= 1")
 	}
-	f := &Fabric{size: p, boxes: make([]*mbox.Mailbox, p)}
+	f := &Fabric{size: p, boxes: make([]atomic.Pointer[mbox.Mailbox], p)}
 	for i := range f.boxes {
-		f.boxes[i] = mbox.New()
+		f.boxes[i].Store(mbox.New())
 	}
 	return f
 }
@@ -49,12 +49,29 @@ func (f *Fabric) Endpoint(r int) comm.Comm {
 	if r < 0 || r >= f.size {
 		panic("inproc: rank out of range")
 	}
-	return &endpoint{fabric: f, rank: r}
+	return &endpoint{fabric: f, rank: r, box: f.boxes[r].Load()}
+}
+
+// Reattach replaces rank r's mailbox with a fresh one and returns a new
+// endpoint bound to it — the fabric-level join point for a spare taking over
+// a dead rank's slot. The dead endpoint stays bound to (and may still close)
+// its own retired mailbox, so a deferred Close on the old goroutine can
+// never shut the spare's fresh box; senders observe the swap atomically and
+// their next Put lands in the new mailbox. Call only after the previous
+// incarnation's goroutine has returned.
+func (f *Fabric) Reattach(r int) comm.Comm {
+	if r < 0 || r >= f.size {
+		panic("inproc: rank out of range")
+	}
+	box := mbox.New()
+	f.boxes[r].Store(box)
+	return &endpoint{fabric: f, rank: r, box: box}
 }
 
 type endpoint struct {
 	fabric *Fabric
 	rank   int
+	box    *mbox.Mailbox // this incarnation's inbox, pinned at creation
 
 	mu       sync.Mutex // counters may be bumped by delayed-delivery goroutines
 	counters comm.Counters
@@ -95,7 +112,7 @@ func (e *endpoint) SendCtx(to, tag int, payload []byte, tc traceid.Context) erro
 	// receiver, who may return it to the pool after use.
 	buf := bufpool.Get(len(payload))
 	copy(buf, payload)
-	if err := e.fabric.boxes[to].Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf, Trace: tc}); err != nil {
+	if err := e.fabric.boxes[to].Load().Put(mbox.Message{From: e.rank, Tag: tag, Payload: buf, Trace: tc}); err != nil {
 		bufpool.Put(buf)
 		if errors.Is(err, mbox.ErrClosed) {
 			// The destination rank has shut down its endpoint: that is a
@@ -121,7 +138,7 @@ func (e *endpoint) RecvTimeout(from, tag int, timeout time.Duration) ([]byte, er
 	if from < 0 || from >= e.fabric.size {
 		return nil, errors.New("inproc: source rank out of range")
 	}
-	msg, err := e.fabric.boxes[e.rank].GetMsgUntil(from, tag, deadlineFor(timeout))
+	msg, err := e.box.GetMsgUntil(from, tag, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: []comm.MsgKey{{From: from, Tag: tag}}, Timeout: timeout}
@@ -159,7 +176,7 @@ func (e *endpoint) RecvAnyTimeout(keys []comm.MsgKey, timeout time.Duration) (in
 	}
 	// mbox.Key aliases comm.MsgKey, so the receive set passes straight
 	// through without a conversion allocation.
-	msg, err := e.fabric.boxes[e.rank].GetAnyUntil(keys, deadlineFor(timeout))
+	msg, err := e.box.GetAnyUntil(keys, deadlineFor(timeout))
 	if err != nil {
 		if errors.Is(err, mbox.ErrTimeout) {
 			err = &comm.DeadlineError{Rank: e.rank, Keys: keys, Timeout: timeout}
@@ -188,7 +205,7 @@ func (e *endpoint) Counters() comm.Counters {
 
 // Close implements comm.Comm.
 func (e *endpoint) Close() error {
-	e.fabric.boxes[e.rank].Close(nil)
+	e.box.Close(nil)
 	return nil
 }
 
